@@ -1,0 +1,217 @@
+// Command wanbench regenerates every table and figure of "Optimizing
+// Shuffle in Wide-Area Data Analytics" (ICDCS 2017) on the simulated
+// six-region cluster.
+//
+// Usage:
+//
+//	wanbench [flags] <experiment>
+//
+// Experiments:
+//
+//	table1    workload specifications (Table I)
+//	topology  evaluation cluster (Fig. 6)
+//	fig1      fetch vs push timeline (Fig. 1)
+//	fig2      reducer-failure recovery (Fig. 2)
+//	fig7      job completion times, all workloads × schemes (Fig. 7)
+//	fig8      cross-datacenter traffic (Fig. 8)
+//	fig9      stage execution breakdown (Fig. 9)
+//	terasort-explicit   Sec. V-B: explicit transferTo for TeraSort
+//	ablate    design-choice ablations (pipelining, aggregator rule,
+//	          top-K aggregation, burst model β, multi-tenancy, jitter)
+//	extensions  workloads beyond the paper's five (WebJoin)
+//	all       everything above
+//
+// Flags:
+//
+//	-runs N    iterations per (workload, scheme) (default 10)
+//	-seed N    base seed (default 1)
+//	-scale F   modeled-size multiplier vs Table I (default 1.0)
+//	-jitter F  WAN bandwidth jitter amplitude (default 0.25)
+//	-par N     concurrent simulations (default 8)
+//	-validate  re-validate every run's records against the reference
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wanshuffle/internal/bench"
+	"wanshuffle/internal/core"
+	"wanshuffle/internal/topology"
+	"wanshuffle/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wanbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wanbench", flag.ContinueOnError)
+	runs := fs.Int("runs", 10, "iterations per (workload, scheme)")
+	seed := fs.Int64("seed", 1, "base seed")
+	scale := fs.Float64("scale", 1.0, "modeled-size multiplier vs Table I")
+	jitter := fs.Float64("jitter", 0.25, "WAN bandwidth jitter amplitude")
+	par := fs.Int("par", 8, "concurrent simulations")
+	validate := fs.Bool("validate", false, "validate run outputs against the reference")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("need exactly one experiment (table1|topology|fig1|fig2|fig7|fig8|fig9|terasort-explicit|ablate|extensions|all)")
+	}
+	opts := bench.Options{
+		Runs: *runs, BaseSeed: *seed, Scale: *scale,
+		Jitter: *jitter, Parallelism: *par, Validate: *validate,
+	}
+
+	experiments := map[string]func(bench.Options) error{
+		"table1":            table1,
+		"topology":          showTopology,
+		"fig1":              fig1,
+		"fig2":              fig2,
+		"fig7":              fig7,
+		"fig8":              fig8,
+		"fig9":              fig9,
+		"terasort-explicit": teraSortExplicit,
+		"ablate":            ablate,
+		"extensions":        extensions,
+	}
+	name := fs.Arg(0)
+	if name == "all" {
+		for _, exp := range []string{"table1", "topology", "fig1", "fig2", "fig7", "fig8", "fig9", "terasort-explicit", "ablate", "extensions"} {
+			if err := experiments[exp](opts); err != nil {
+				return fmt.Errorf("%s: %w", exp, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	exp, ok := experiments[name]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return exp(opts)
+}
+
+func table1(bench.Options) error {
+	fmt.Print(bench.FormatTableI())
+	return nil
+}
+
+func showTopology(bench.Options) error {
+	fmt.Print(bench.FormatTopology(topology.SixRegionEC2()))
+	return nil
+}
+
+func fig1(opts bench.Options) error {
+	fetch, push, err := bench.Fig1(opts.BaseSeed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatFig1(fetch, push))
+	return nil
+}
+
+func fig2(opts bench.Options) error {
+	fetch, push, err := bench.Fig2(opts.BaseSeed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatFig2(fetch, push))
+	return nil
+}
+
+func fig7(opts bench.Options) error {
+	series, err := bench.Fig7(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatFig7(series))
+	return nil
+}
+
+func fig8(opts bench.Options) error {
+	series, err := bench.Fig8(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatFig8(series))
+	return nil
+}
+
+func fig9(opts bench.Options) error {
+	series, err := bench.Fig9(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatFig9(series))
+	return nil
+}
+
+// teraSortExplicit reproduces the Sec. V-B discussion: TeraSort under
+// automatic aggregation vs the developer's explicit transferTo before the
+// bloating map.
+func teraSortExplicit(opts bench.Options) error {
+	fmt.Println("Sec. V-B — TeraSort: automatic aggregation vs explicit transferTo")
+	type variant struct {
+		name   string
+		w      *workloads.Workload
+		scheme core.Scheme
+	}
+	variants := []variant{
+		{"Spark (fetch baseline)", workloads.TeraSort(), core.SchemeSpark},
+		{"Centralized", workloads.TeraSort(), core.SchemeCentralized},
+		{"AggShuffle (auto, pushes bloated map output)", workloads.TeraSort(), core.SchemeAggShuffle},
+		{"Explicit transferTo before the bloating map", workloads.TeraSortExplicit(), core.SchemeManual},
+	}
+	fmt.Printf("%-48s %10s %14s\n", "Variant", "JCT (s)", "cross-DC (MB)")
+	for _, v := range variants {
+		var jcts, traffic []float64
+		for i := 0; i < opts.Runs; i++ {
+			rep, err := bench.RunOne(v.w, v.scheme, opts.BaseSeed+int64(i), opts)
+			if err != nil {
+				return err
+			}
+			jcts = append(jcts, rep.JCT)
+			traffic = append(traffic, rep.CrossDCBytes/1e6)
+		}
+		fmt.Printf("%-48s %10.1f %14.0f\n", v.name, mean(jcts), mean(traffic))
+	}
+	return nil
+}
+
+func ablate(opts bench.Options) error {
+	rows, err := bench.Ablate(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatAblation(rows))
+	return nil
+}
+
+// extensions sweeps the workloads beyond the paper's evaluation set.
+func extensions(opts bench.Options) error {
+	fmt.Println("Extensions — workloads beyond the paper's five")
+	series, err := bench.Sweep(workloads.Extensions(), bench.Schemes(), opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-12s %14s %18s\n", "Workload", "Scheme", "JCT (s)", "cross-DC (MB)")
+	for _, s := range series {
+		fmt.Printf("%-12s %-12s %14.1f %18.0f\n", s.Workload, s.Scheme, s.JCT.TrimmedMean, s.CrossDCMB.TrimmedMean)
+	}
+	return nil
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,54 @@
+package wanshuffle_test
+
+import (
+	"fmt"
+	"strings"
+
+	"wanshuffle"
+)
+
+// Example runs the paper's headline comparison on a toy corpus: the same
+// WordCount under the fetch-based baseline and under Push/Aggregate. The
+// outputs are identical; AggShuffle finishes sooner and avoids cross-DC
+// shuffle fetches entirely.
+func Example() {
+	var lines []wanshuffle.Pair
+	for i := 0; i < 600; i++ {
+		lines = append(lines, wanshuffle.KV(
+			fmt.Sprintf("l%04d", i),
+			fmt.Sprintf("push aggregate shuffle wan-%d", i%9),
+		))
+	}
+
+	run := func(scheme wanshuffle.Scheme) *wanshuffle.Report {
+		ctx := wanshuffle.NewContext(wanshuffle.Config{Seed: 1, Scheme: scheme})
+		counts := ctx.DistributeRecords("text", lines, 24, 1e9).
+			FlatMap("split", func(p wanshuffle.Pair) []wanshuffle.Pair {
+				fields := strings.Fields(p.Value.(string))
+				out := make([]wanshuffle.Pair, len(fields))
+				for i, w := range fields {
+					out[i] = wanshuffle.KV(w, 1)
+				}
+				return out
+			}).
+			ReduceByKey("count", 8, func(a, b wanshuffle.Value) wanshuffle.Value {
+				return a.(int) + b.(int)
+			})
+		report, err := ctx.Collect(counts)
+		if err != nil {
+			panic(err)
+		}
+		return report
+	}
+
+	spark := run(wanshuffle.SchemeSpark)
+	agg := run(wanshuffle.SchemeAggShuffle)
+
+	fmt.Println("distinct words:", len(spark.Records), len(agg.Records))
+	fmt.Println("aggregation faster:", agg.JCT < spark.JCT)
+	fmt.Println("cross-DC fetches under AggShuffle:", agg.CrossDCByTag["shuffle"])
+	// Output:
+	// distinct words: 12 12
+	// aggregation faster: true
+	// cross-DC fetches under AggShuffle: 0
+}

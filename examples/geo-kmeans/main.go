@@ -1,0 +1,147 @@
+// Geo-KMeans: an iterative driver-loop workload beyond the paper's five
+// benchmarks. Each iteration is its own job: assign every point to its
+// nearest centroid, aggregate per-cluster sums through a combining
+// shuffle, and collect the new centroids at the driver. The point set is
+// cached after the first pass.
+//
+// KMeans is the boundary case of the paper's analysis: map-side combining
+// collapses each iteration's shuffle to k tiny vectors per partition, so
+// there is almost nothing for Push/Aggregate to save — both schemes move a
+// few dozen MB and finish in the same time, and converge to identical
+// centroids. Compare with geo-pagerank, whose join shuffles cannot
+// combine and where AggShuffle wins big: together they bracket when the
+// paper's mechanism pays off.
+//
+//	go run ./examples/geo-kmeans
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"wanshuffle"
+)
+
+const (
+	points     = 2400
+	dims       = 4
+	k          = 6
+	iterations = 4
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "geo-kmeans:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Printf("%-12s %12s %16s %12s\n", "Scheme", "total JCT", "cross-DC (MB)", "inertia")
+	for _, scheme := range []wanshuffle.Scheme{wanshuffle.SchemeSpark, wanshuffle.SchemeAggShuffle} {
+		jct, cross, inertia, err := kmeans(scheme)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %11.1fs %16.0f %12.1f\n", scheme, jct, cross/1e6, inertia)
+	}
+	return nil
+}
+
+func kmeans(scheme wanshuffle.Scheme) (jct, crossDC, inertia float64, err error) {
+	ctx := wanshuffle.NewContext(wanshuffle.Config{Seed: 13, Scheme: scheme})
+	data := ctx.DistributeRecords("points", generatePoints(), 24, 1.6e9)
+	cached := data.Cache()
+
+	centroids := initialCentroids()
+	for it := 0; it < iterations; it++ {
+		cs := centroids // capture this iteration's centroids
+		assigned := cached.Map(fmt.Sprintf("assign%d", it), func(p wanshuffle.Pair) wanshuffle.Pair {
+			point := p.Value.([]float64)
+			best, bestDist := 0, math.Inf(1)
+			for ci, c := range cs {
+				if d := sqDist(point, c); d < bestDist {
+					best, bestDist = ci, d
+				}
+			}
+			// Value: point coordinates plus a trailing count of 1.
+			withCount := append(append([]float64{}, point...), 1)
+			return wanshuffle.KV(fmt.Sprintf("c%02d", best), withCount)
+		})
+		sums := assigned.ReduceByKey(fmt.Sprintf("sum%d", it), 8, func(a, b wanshuffle.Value) wanshuffle.Value {
+			av, bv := a.([]float64), b.([]float64)
+			out := make([]float64, len(av))
+			for i := range av {
+				out[i] = av[i] + bv[i]
+			}
+			return out
+		})
+		rep, err := ctx.Collect(sums)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		jct += rep.JCT
+		crossDC += rep.CrossDCBytes
+		for _, rec := range rep.Records {
+			var ci int
+			if _, err := fmt.Sscanf(rec.Key, "c%02d", &ci); err != nil {
+				return 0, 0, 0, err
+			}
+			sum := rec.Value.([]float64)
+			n := sum[dims]
+			for d := 0; d < dims; d++ {
+				centroids[ci][d] = sum[d] / n
+			}
+		}
+	}
+
+	// Final inertia on the driver, for a sanity check across schemes.
+	for _, p := range generatePoints() {
+		point := p.Value.([]float64)
+		best := math.Inf(1)
+		for _, c := range centroids {
+			if d := sqDist(point, c); d < best {
+				best = d
+			}
+		}
+		inertia += best
+	}
+	return jct, crossDC, inertia, nil
+}
+
+func generatePoints() []wanshuffle.Pair {
+	rng := rand.New(rand.NewSource(99))
+	recs := make([]wanshuffle.Pair, points)
+	for i := range recs {
+		cluster := i % k
+		p := make([]float64, dims)
+		for d := range p {
+			p[d] = float64(cluster*10) + rng.NormFloat64()
+		}
+		recs[i] = wanshuffle.KV(fmt.Sprintf("p%05d", i), p)
+	}
+	return recs
+}
+
+func initialCentroids() [][]float64 {
+	out := make([][]float64, k)
+	for ci := range out {
+		c := make([]float64, dims)
+		for d := range c {
+			c[d] = float64(ci*10) + 0.5
+		}
+		out[ci] = c
+	}
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range b {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+// Geo-PageRank: an iterative analytics job over a web graph whose edges
+// originate in six regions — the workload where the paper reports its
+// largest traffic reduction (91.3%, Fig. 8).
+//
+// Every iteration joins the cached link table with the current ranks.
+// Under the fetch-based baseline, each iteration's shuffles cross the WAN
+// again, because the vanilla scheduler scatters reducers; under AggShuffle
+// the first aggregation pins all subsequent computation (and the cached
+// links) inside the aggregator datacenter.
+//
+//	go run ./examples/geo-pagerank
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"wanshuffle"
+)
+
+const (
+	pages      = 1000
+	iterations = 3
+	damping    = 0.85
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "geo-pagerank:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	edges := makeEdges()
+	fmt.Printf("%-12s %10s %16s\n", "Scheme", "JCT (s)", "cross-DC (MB)")
+	var top []wanshuffle.Pair
+	for _, scheme := range []wanshuffle.Scheme{wanshuffle.SchemeSpark, wanshuffle.SchemeAggShuffle} {
+		ctx := wanshuffle.NewContext(wanshuffle.Config{Seed: 7, Scheme: scheme})
+		ranks, err := pageRank(ctx, edges)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %10.1f %16.0f\n", scheme, ranks.JCT, ranks.CrossDCBytes/1e6)
+		top = topRanks(ranks.Records, 5)
+	}
+	fmt.Println("\nTop pages:")
+	for _, p := range top {
+		fmt.Printf("  %-12s %.4f\n", p.Key, p.Value.(float64))
+	}
+	return nil
+}
+
+func makeEdges() []wanshuffle.Pair {
+	// A scale-free-ish graph: in-links concentrate on low-numbered pages
+	// via a quadratic skew, so ranks differentiate.
+	var edges []wanshuffle.Pair
+	name := func(i int) string { return fmt.Sprintf("page%04d", i) }
+	rng := rand.New(rand.NewSource(99))
+	for i := 1; i < pages; i++ {
+		out := 2 + rng.Intn(4)
+		for l := 0; l < out; l++ {
+			d := rng.Intn(pages)
+			dst := d * d / pages // skew toward low page numbers
+			if dst == i {
+				dst = (dst + 1) % pages
+			}
+			edges = append(edges, wanshuffle.KV(name(i), name(dst)))
+		}
+	}
+	return edges
+}
+
+func pageRank(ctx *wanshuffle.Context, edges []wanshuffle.Pair) (*wanshuffle.Report, error) {
+	input := ctx.DistributeRecords("edges", edges, 24, 600e6)
+	links := input.GroupByKey("links", 8).Cache()
+	ranks := links.Map("init", func(p wanshuffle.Pair) wanshuffle.Pair {
+		return wanshuffle.KV(p.Key, 1.0)
+	})
+	for it := 1; it <= iterations; it++ {
+		contribs := links.Join(fmt.Sprintf("join%d", it), ranks, 8).
+			FlatMap(fmt.Sprintf("contrib%d", it), func(p wanshuffle.Pair) []wanshuffle.Pair {
+				pair := p.Value.([]wanshuffle.Value)
+				dests := pair[0].([]wanshuffle.Value)
+				share := pair[1].(float64) / float64(len(dests))
+				out := make([]wanshuffle.Pair, len(dests))
+				for i, d := range dests {
+					out[i] = wanshuffle.KV(d.(string), share)
+				}
+				return out
+			})
+		ranks = contribs.
+			ReduceByKey(fmt.Sprintf("sum%d", it), 8, func(a, b wanshuffle.Value) wanshuffle.Value {
+				return a.(float64) + b.(float64)
+			}).
+			Map(fmt.Sprintf("damp%d", it), func(p wanshuffle.Pair) wanshuffle.Pair {
+				return wanshuffle.KV(p.Key, (1-damping)+damping*p.Value.(float64))
+			})
+	}
+	return ctx.Collect(ranks)
+}
+
+func topRanks(records []wanshuffle.Pair, n int) []wanshuffle.Pair {
+	sorted := make([]wanshuffle.Pair, len(records))
+	copy(sorted, records)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Value.(float64) > sorted[j].Value.(float64)
+	})
+	if len(sorted) > n {
+		sorted = sorted[:n]
+	}
+	return sorted
+}

@@ -1,0 +1,3 @@
+module wanshuffle
+
+go 1.22

@@ -1,0 +1,237 @@
+// Package bench drives the paper's experiments: it runs HiBench workloads
+// under the three schemes over many seeds, aggregates the statistics the
+// paper reports, and regenerates each figure (see DESIGN.md's experiment
+// index). Both cmd/wanbench and the repository's testing.B benchmarks call
+// into this package.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"wanshuffle/internal/core"
+	"wanshuffle/internal/exec"
+	"wanshuffle/internal/simnet"
+	"wanshuffle/internal/stats"
+	"wanshuffle/internal/workloads"
+)
+
+// Schemes evaluated throughout the paper, in presentation order.
+func Schemes() []core.Scheme {
+	return []core.Scheme{core.SchemeSpark, core.SchemeCentralized, core.SchemeAggShuffle}
+}
+
+// Options configure an experiment sweep.
+type Options struct {
+	// Runs is the number of iterations per (workload, scheme); the paper
+	// uses 10. Defaults to 10.
+	Runs int
+	// BaseSeed seeds run i with BaseSeed+i. Defaults to 1.
+	BaseSeed int64
+	// Scale multiplies Table I modeled sizes. Defaults to 1.0 (paper
+	// scale).
+	Scale float64
+	// Jitter is the WAN bandwidth fluctuation amplitude. Defaults to
+	// 0.25, matching the paper's observation that inter-region capacity
+	// varies widely over time.
+	Jitter float64
+	// Parallelism bounds concurrent simulation runs. Defaults to 8.
+	Parallelism int
+	// Validate re-checks every run's output against the in-memory
+	// reference (slower; on by default at small scale in tests).
+	Validate bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Runs <= 0 {
+		o.Runs = 10
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 0.25
+	}
+	// Negative passes through: simnet/core treat it as jitter disabled.
+	if o.Parallelism <= 0 {
+		o.Parallelism = 8
+	}
+	return o
+}
+
+// RunOne executes a single workload run and returns its report.
+func RunOne(w *workloads.Workload, scheme core.Scheme, seed int64, opts Options) (*core.Report, error) {
+	opts = opts.withDefaults()
+	ctx := core.NewContext(core.Config{
+		Seed:   seed,
+		Scheme: scheme,
+		Exec: exec.Config{
+			Net: simnet.Config{JitterAmplitude: opts.Jitter},
+		},
+	})
+	inst := w.Make(ctx, workloads.Options{Seed: seed, Scale: opts.Scale})
+	// HiBench jobs write their output to HDFS rather than collecting it
+	// at the driver; Save models that.
+	rep, err := ctx.Save(inst.Target)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s/%v seed %d: %w", w.Name, scheme, seed, err)
+	}
+	if opts.Validate {
+		if err := inst.Validate(rep.Records); err != nil {
+			return nil, fmt.Errorf("bench: %s/%v seed %d: wrong results: %w", w.Name, scheme, seed, err)
+		}
+	}
+	return rep, nil
+}
+
+// Series is one (workload, scheme) sample set across runs.
+type Series struct {
+	Workload string
+	Scheme   core.Scheme
+	// JCT aggregates job completion times in seconds (Fig. 7).
+	JCT stats.Summary
+	// CrossDCMB aggregates cross-datacenter traffic in MB (Fig. 8).
+	CrossDCMB stats.Summary
+	// Stages aggregates per-stage spans in seconds (Fig. 9), by stage
+	// index.
+	Stages []stats.Summary
+	// StageNames labels Stages.
+	StageNames []string
+}
+
+// Sweep runs every given workload under every scheme for opts.Runs seeds
+// and aggregates the results. Runs execute in parallel (each on its own
+// simulated cluster); aggregation order is deterministic.
+func Sweep(ws []*workloads.Workload, schemes []core.Scheme, opts Options) ([]Series, error) {
+	opts = opts.withDefaults()
+	type cell struct {
+		jct     []float64
+		cross   []float64
+		stages  [][]float64
+		names   []string
+		lastErr error
+	}
+	cells := make([][]cell, len(ws))
+	for i := range cells {
+		cells[i] = make([]cell, len(schemes))
+	}
+
+	type task struct{ wi, si, run int }
+	var tasks []task
+	for wi := range ws {
+		for si := range schemes {
+			for run := 0; run < opts.Runs; run++ {
+				tasks = append(tasks, task{wi, si, run})
+			}
+		}
+	}
+
+	results := make([]*core.Report, len(tasks))
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Parallelism)
+	for ti, tk := range tasks {
+		ti, tk := ti, tk
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rep, err := RunOne(ws[tk.wi], schemes[tk.si], opts.BaseSeed+int64(tk.run), opts)
+			results[ti] = rep
+			errs[ti] = err
+		}()
+	}
+	wg.Wait()
+
+	for ti, tk := range tasks {
+		if errs[ti] != nil {
+			return nil, errs[ti]
+		}
+		rep := results[ti]
+		c := &cells[tk.wi][tk.si]
+		c.jct = append(c.jct, rep.JCT)
+		c.cross = append(c.cross, rep.CrossDCBytes/1e6)
+		for i, st := range rep.Stages {
+			if i >= len(c.stages) {
+				c.stages = append(c.stages, nil)
+				c.names = append(c.names, st.Name)
+			}
+			c.stages[i] = append(c.stages[i], st.End-st.Start)
+		}
+	}
+
+	var out []Series
+	for wi, w := range ws {
+		for si, scheme := range schemes {
+			c := &cells[wi][si]
+			s := Series{
+				Workload:   w.Name,
+				Scheme:     scheme,
+				JCT:        stats.Summarize(c.jct),
+				CrossDCMB:  stats.Summarize(c.cross),
+				StageNames: c.names,
+			}
+			for _, sp := range c.stages {
+				s.Stages = append(s.Stages, stats.Summarize(sp))
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// Fig7 regenerates the job-completion-time comparison for all five
+// workloads under the three schemes.
+func Fig7(opts Options) ([]Series, error) {
+	return Sweep(workloads.All(), Schemes(), opts)
+}
+
+// Fig8 regenerates the cross-datacenter traffic comparison for the four
+// workloads the paper's Fig. 8 covers (Sort, TeraSort, PageRank,
+// NaiveBayes).
+func Fig8(opts Options) ([]Series, error) {
+	var ws []*workloads.Workload
+	for _, w := range workloads.All() {
+		if w.InFig8 {
+			ws = append(ws, w)
+		}
+	}
+	return Sweep(ws, Schemes(), opts)
+}
+
+// Fig9 regenerates the per-stage execution-time breakdown for all five
+// workloads (same sweep as Fig. 7; the stage spans are the payload).
+func Fig9(opts Options) ([]Series, error) {
+	return Fig7(opts)
+}
+
+// Find returns the series for (workload, scheme).
+func Find(series []Series, workload string, scheme core.Scheme) (Series, error) {
+	for _, s := range series {
+		if s.Workload == workload && s.Scheme == scheme {
+			return s, nil
+		}
+	}
+	return Series{}, fmt.Errorf("bench: no series for %s/%v", workload, scheme)
+}
+
+// Reduction returns the relative JCT reduction of AggShuffle vs the Spark
+// baseline for a workload, e.g. 0.73 for the paper's headline 73%.
+func Reduction(series []Series, workload string) (float64, error) {
+	spark, err := Find(series, workload, core.SchemeSpark)
+	if err != nil {
+		return 0, err
+	}
+	agg, err := Find(series, workload, core.SchemeAggShuffle)
+	if err != nil {
+		return 0, err
+	}
+	if spark.JCT.TrimmedMean <= 0 {
+		return 0, fmt.Errorf("bench: degenerate baseline JCT")
+	}
+	return 1 - agg.JCT.TrimmedMean/spark.JCT.TrimmedMean, nil
+}

@@ -1,0 +1,240 @@
+// Package dag turns an RDD lineage into an executable plan of
+// shuffle-separated stages, mirroring Spark's DAGScheduler.
+//
+// Beyond stock Spark, the planner understands TransferredRDDs: a stage
+// containing transferTo points is split into phases, where each phase after
+// the first runs as receiver tasks in the aggregator datacenter, fed by
+// pipelined pushes from the previous phase (Sec. IV of the paper). The
+// planner also implements the paper's automatic embedding (Sec. IV-D):
+// AutoAggregate inserts a transferTo in front of every shuffle, which is
+// what Spark's modified DAGScheduler does when spark.shuffle.aggregation is
+// enabled.
+package dag
+
+import (
+	"fmt"
+
+	"wanshuffle/internal/rdd"
+)
+
+// StageKind distinguishes shuffle-map stages from the final result stage.
+type StageKind int
+
+// Stage kinds.
+const (
+	StageMap StageKind = iota + 1
+	StageResult
+)
+
+// Phase is one pipelined segment of a stage. Top is the last RDD the phase
+// computes; Transfer, when non-nil, pushes each computed partition to a
+// receiver task that continues with the next phase. TransferNode is the
+// TransferredRDD marking the boundary (the next phase reads it as input).
+type Phase struct {
+	Top          *rdd.RDD
+	Transfer     *rdd.TransferSpec
+	TransferNode *rdd.RDD
+}
+
+// Stage is a set of tasks computing the partitions of Output, pipelined
+// through Phases.
+type Stage struct {
+	ID   int
+	Kind StageKind
+	// OutSpec is the shuffle this stage's output feeds (map stages only).
+	OutSpec *rdd.ShuffleSpec
+	// Output is the RDD materialized by the stage's last phase.
+	Output *rdd.RDD
+	Phases []Phase
+	// Boundaries are the ShuffledRDD nodes inside this stage whose shuffle
+	// deps are the stage's inputs.
+	Boundaries []*rdd.RDD
+	// Sources are the leaf input RDDs read by this stage.
+	Sources []*rdd.RDD
+	// Parents are the stages producing this stage's input shuffles.
+	Parents []*Stage
+
+	NumTasks int
+}
+
+// Name returns a human-readable stage name.
+func (s *Stage) Name() string {
+	kind := "map"
+	if s.Kind == StageResult {
+		kind = "result"
+	}
+	return fmt.Sprintf("stage%d(%s:%s)", s.ID, kind, s.Output.Name)
+}
+
+// Plan is an executable stage DAG. Stages are topologically ordered:
+// parents precede children.
+type Plan struct {
+	Stages []*Stage
+	Final  *Stage
+}
+
+// BuildPlan plans the job that materializes target. It validates the
+// lineage first.
+func BuildPlan(target *rdd.RDD) (*Plan, error) {
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	b := &builder{byShuffle: map[int]*Stage{}}
+	final, err := b.stageFor(target, nil)
+	if err != nil {
+		return nil, err
+	}
+	final.Kind = StageResult
+	return &Plan{Stages: b.stages, Final: final}, nil
+}
+
+type builder struct {
+	byShuffle map[int]*Stage
+	stages    []*Stage
+	nextID    int
+}
+
+// stageFor builds (or reuses) the stage materializing output; outSpec is
+// the shuffle the stage feeds, nil for the result stage.
+func (b *builder) stageFor(output *rdd.RDD, outSpec *rdd.ShuffleSpec) (*Stage, error) {
+	if outSpec != nil {
+		if st, ok := b.byShuffle[outSpec.ID]; ok {
+			return st, nil
+		}
+	}
+	st := &Stage{
+		Kind:     StageMap,
+		OutSpec:  outSpec,
+		Output:   output,
+		NumTasks: output.NumParts(),
+	}
+	if outSpec != nil {
+		b.byShuffle[outSpec.ID] = st
+	}
+
+	// Walk the narrow sub-DAG from output, collecting boundaries, sources
+	// and transfer nodes. Boundaries (ShuffledRDDs) stop the walk.
+	var transfers []*rdd.RDD
+	seen := map[int]bool{}
+	var walk func(n *rdd.RDD) error
+	walk = func(n *rdd.RDD) error {
+		if seen[n.ID] {
+			return nil
+		}
+		seen[n.ID] = true
+		if n.Transfer != nil {
+			transfers = append(transfers, n)
+		}
+		if len(n.Deps) == 0 {
+			st.Sources = append(st.Sources, n)
+			return nil
+		}
+		if n.Deps[0].Kind == rdd.DepShuffle {
+			// A ShuffledRDD is an input boundary: its aggregation runs in
+			// this stage's tasks, its deps come from parent stages.
+			st.Boundaries = append(st.Boundaries, n)
+			for di := range n.Deps {
+				d := &n.Deps[di]
+				parent, err := b.stageFor(d.Parent, d.Shuffle)
+				if err != nil {
+					return err
+				}
+				st.addParent(parent)
+			}
+			return nil
+		}
+		for di := range n.Deps {
+			if err := walk(n.Deps[di].Parent); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := walk(output); err != nil {
+		return nil, err
+	}
+
+	phases, err := buildPhases(output, transfers)
+	if err != nil {
+		return nil, err
+	}
+	st.Phases = phases
+
+	st.ID = b.nextID
+	b.nextID++
+	b.stages = append(b.stages, st)
+	return st, nil
+}
+
+func (s *Stage) addParent(p *Stage) {
+	for _, got := range s.Parents {
+		if got == p {
+			return
+		}
+	}
+	s.Parents = append(s.Parents, p)
+}
+
+// buildPhases splits the stage at its transfer nodes. Transfers must lie on
+// the trunk: the chain from output through first narrow parents down to the
+// first boundary/leaf/branch point.
+func buildPhases(output *rdd.RDD, transfers []*rdd.RDD) ([]Phase, error) {
+	if len(transfers) == 0 {
+		return []Phase{{Top: output}}, nil
+	}
+	onTrunk := map[int]bool{}
+	var trunkTransfers []*rdd.RDD // top-down order
+	n := output
+	for {
+		onTrunk[n.ID] = true
+		if n.Transfer != nil {
+			trunkTransfers = append(trunkTransfers, n)
+		}
+		if len(n.Deps) != 1 || n.Deps[0].Kind != rdd.DepNarrow {
+			break
+		}
+		n = n.Deps[0].Parent
+	}
+	for _, tr := range transfers {
+		if !onTrunk[tr.ID] {
+			return nil, fmt.Errorf("dag: transferTo on %q is off the stage trunk (inside a branch); move it onto the main chain", tr.Name)
+		}
+	}
+	// Convert top-down transfer list into bottom-up phases: the lowest
+	// transfer ends the first phase.
+	phases := make([]Phase, 0, len(trunkTransfers)+1)
+	for i := len(trunkTransfers) - 1; i >= 0; i-- {
+		tr := trunkTransfers[i]
+		phases = append(phases, Phase{Top: tr.Deps[0].Parent, Transfer: tr.Transfer, TransferNode: tr})
+	}
+	phases = append(phases, Phase{Top: output})
+	return phases, nil
+}
+
+// AutoAggregate rewrites the lineage reachable from target so that every
+// shuffle is fed through a transferTo with automatic aggregator selection —
+// the paper's implicit embedding (Fig. 5). Parents already wrapped in a
+// transfer are left alone, as are shuffles whose input is a transfer
+// already. Returns the number of transfers inserted.
+func AutoAggregate(target *rdd.RDD) int {
+	inserted := 0
+	seen := map[int]bool{}
+	var walk func(n *rdd.RDD)
+	walk = func(n *rdd.RDD) {
+		if seen[n.ID] {
+			return
+		}
+		seen[n.ID] = true
+		for di := range n.Deps {
+			d := &n.Deps[di]
+			if d.Kind == rdd.DepShuffle && d.Parent.Transfer == nil {
+				d.Parent = d.Parent.TransferToAuto()
+				inserted++
+			}
+			walk(d.Parent)
+		}
+	}
+	walk(target)
+	return inserted
+}

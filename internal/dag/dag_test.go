@@ -1,0 +1,216 @@
+package dag
+
+import (
+	"testing"
+
+	"wanshuffle/internal/rdd"
+)
+
+func input(g *rdd.Graph, parts int) *rdd.RDD {
+	ps := make([]rdd.InputPartition, parts)
+	for i := range ps {
+		ps[i] = rdd.InputPartition{Host: 0, ModeledBytes: 100, Records: []rdd.Pair{rdd.KV("k", i)}}
+	}
+	return g.Input("in", ps)
+}
+
+func sum(a, b rdd.Value) rdd.Value { return a.(int) + b.(int) }
+
+func TestSimpleTwoStagePlan(t *testing.T) {
+	g := rdd.NewGraph()
+	in := input(g, 3)
+	counts := in.Map("m", func(p rdd.Pair) rdd.Pair { return p }).ReduceByKey("r", 2, sum)
+	final := counts.Map("post", func(p rdd.Pair) rdd.Pair { return p })
+
+	plan, err := BuildPlan(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Stages) != 2 {
+		t.Fatalf("plan has %d stages, want 2", len(plan.Stages))
+	}
+	mapStage, resStage := plan.Stages[0], plan.Stages[1]
+	if mapStage.Kind != StageMap || resStage.Kind != StageResult {
+		t.Fatalf("stage kinds = %v/%v", mapStage.Kind, resStage.Kind)
+	}
+	if plan.Final != resStage {
+		t.Fatal("Final is not the result stage")
+	}
+	if mapStage.NumTasks != 3 || resStage.NumTasks != 2 {
+		t.Fatalf("tasks = %d/%d, want 3/2", mapStage.NumTasks, resStage.NumTasks)
+	}
+	if len(mapStage.Phases) != 1 || len(resStage.Phases) != 1 {
+		t.Fatal("unexpected phases without transferTo")
+	}
+	if len(resStage.Parents) != 1 || resStage.Parents[0] != mapStage {
+		t.Fatal("result stage not parented to map stage")
+	}
+	if len(mapStage.Sources) != 1 {
+		t.Fatalf("map stage sources = %d, want 1", len(mapStage.Sources))
+	}
+	if len(resStage.Boundaries) != 1 || resStage.Boundaries[0].Name != "r" {
+		t.Fatalf("result boundaries = %v", resStage.Boundaries)
+	}
+}
+
+func TestResultStageDirectlyOnShuffle(t *testing.T) {
+	g := rdd.NewGraph()
+	counts := input(g, 2).ReduceByKey("r", 2, sum)
+	plan, err := BuildPlan(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(plan.Stages))
+	}
+	if len(plan.Final.Boundaries) != 1 || plan.Final.Boundaries[0] != counts {
+		t.Fatal("bare ShuffledRDD result stage must be its own boundary")
+	}
+}
+
+func TestExplicitTransferSplitsPhases(t *testing.T) {
+	g := rdd.NewGraph()
+	in := input(g, 3)
+	mapped := in.Map("m", func(p rdd.Pair) rdd.Pair { return p })
+	moved := mapped.TransferTo(1)
+	counts := moved.ReduceByKey("r", 2, sum)
+	plan, err := BuildPlan(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapStage := plan.Stages[0]
+	if len(mapStage.Phases) != 2 {
+		t.Fatalf("map stage phases = %d, want 2", len(mapStage.Phases))
+	}
+	if mapStage.Phases[0].Top != mapped || mapStage.Phases[0].Transfer == nil {
+		t.Fatalf("phase 0 = %+v, want top=m with transfer", mapStage.Phases[0])
+	}
+	if mapStage.Phases[0].Transfer.DC != 1 || mapStage.Phases[0].Transfer.Auto {
+		t.Fatalf("transfer spec = %+v", mapStage.Phases[0].Transfer)
+	}
+	if mapStage.Phases[1].Top != moved || mapStage.Phases[1].Transfer != nil {
+		t.Fatalf("phase 1 = %+v, want top=transferred, no push", mapStage.Phases[1])
+	}
+	if mapStage.Output != moved {
+		t.Fatal("stage output must be the transferred RDD")
+	}
+}
+
+func TestChainedTransfers(t *testing.T) {
+	g := rdd.NewGraph()
+	in := input(g, 2)
+	r := in.TransferTo(1).Map("m", func(p rdd.Pair) rdd.Pair { return p }).TransferTo(0)
+	plan, err := BuildPlan(r.ReduceByKey("r", 2, sum))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapStage := plan.Stages[0]
+	if len(mapStage.Phases) != 3 {
+		t.Fatalf("phases = %d, want 3", len(mapStage.Phases))
+	}
+	if mapStage.Phases[0].Transfer.DC != 1 || mapStage.Phases[1].Transfer.DC != 0 {
+		t.Fatalf("transfer order wrong: %+v %+v", mapStage.Phases[0].Transfer, mapStage.Phases[1].Transfer)
+	}
+}
+
+func TestAutoAggregateInsertsTransfers(t *testing.T) {
+	g := rdd.NewGraph()
+	in := input(g, 3)
+	job := in.Map("m", func(p rdd.Pair) rdd.Pair { return p }).
+		ReduceByKey("r1", 2, sum).
+		GroupByKey("r2", 2)
+	n := AutoAggregate(job)
+	if n != 2 {
+		t.Fatalf("inserted %d transfers, want 2", n)
+	}
+	// Idempotent: transfers are not doubled.
+	if n := AutoAggregate(job); n != 0 {
+		t.Fatalf("second AutoAggregate inserted %d, want 0", n)
+	}
+	plan, err := BuildPlan(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Stages) != 3 {
+		t.Fatalf("stages = %d, want 3", len(plan.Stages))
+	}
+	for _, st := range plan.Stages[:2] {
+		if len(st.Phases) != 2 {
+			t.Fatalf("%s phases = %d, want 2 (auto transfer)", st.Name(), len(st.Phases))
+		}
+		if tr := st.Phases[0].Transfer; tr == nil || !tr.Auto {
+			t.Fatalf("%s transfer = %+v, want auto", st.Name(), tr)
+		}
+	}
+}
+
+func TestSharedShuffleStageDeduped(t *testing.T) {
+	g := rdd.NewGraph()
+	in := input(g, 2)
+	shuffled := in.ReduceByKey("shared", 2, sum)
+	a := shuffled.Map("a", func(p rdd.Pair) rdd.Pair { return p })
+	b := shuffled.Map("b", func(p rdd.Pair) rdd.Pair { return p })
+	joined := a.Join("join", b, 2)
+	plan, err := BuildPlan(joined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stages: shared map stage (1) + two cogroup map stages + result = 4.
+	if len(plan.Stages) != 4 {
+		t.Fatalf("stages = %d, want 4 (shared stage deduped)", len(plan.Stages))
+	}
+	// The result (cogroup) stage must have exactly 2 parents.
+	if got := len(plan.Final.Parents); got != 2 {
+		t.Fatalf("final parents = %d, want 2", got)
+	}
+}
+
+func TestOffTrunkTransferRejected(t *testing.T) {
+	g := rdd.NewGraph()
+	a := input(g, 1).TransferTo(1)
+	b := input(g, 1)
+	u := a.Union("u", b)
+	_, err := BuildPlan(u.ReduceByKey("r", 2, sum))
+	if err == nil {
+		t.Fatal("off-trunk transfer accepted, want error")
+	}
+}
+
+func TestInvalidLineageRejected(t *testing.T) {
+	g := rdd.NewGraph()
+	in := input(g, 2)
+	// Partitioner shard count mismatching numParts via hand-built RDD is
+	// hard to construct through the API; instead check Validate wiring by
+	// a leaf with no input reachable through a crafted graph. The public
+	// API cannot produce one, so just ensure a valid plan passes.
+	if _, err := BuildPlan(in); err != nil {
+		t.Fatalf("valid single-stage plan rejected: %v", err)
+	}
+}
+
+func TestSingleStagePlanNoShuffle(t *testing.T) {
+	g := rdd.NewGraph()
+	in := input(g, 2)
+	m := in.Map("m", func(p rdd.Pair) rdd.Pair { return p })
+	plan, err := BuildPlan(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Stages) != 1 || plan.Final.Kind != StageResult {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if len(plan.Final.Parents) != 0 {
+		t.Fatal("single stage has parents")
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	g := rdd.NewGraph()
+	plan, err := BuildPlan(input(g, 1).ReduceByKey("r", 1, sum))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stages[0].Name() == plan.Stages[1].Name() {
+		t.Fatal("stage names collide")
+	}
+}

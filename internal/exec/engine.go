@@ -1,0 +1,602 @@
+// Package exec executes RDD jobs on the simulated geo-distributed cluster.
+//
+// It ties the pieces together: the dag planner cuts the lineage into
+// stages, the sched scheduler places tasks on host slots, the shuffle
+// registry tracks map output, and simnet carries every byte that moves
+// between hosts. Computation over records is performed for real (the
+// engine produces actual results, validated against rdd.EvalLocal); only
+// durations are modeled, from each partition's modeled byte size.
+//
+// Task lifecycle per stage phase: acquire inputs (disk reads locally,
+// network flows remotely — the all-to-all burst of a fetch-based shuffle
+// read happens here), compute, then either register shuffle output, push to
+// the next phase's receiver task (transferTo), or ship results to the
+// driver. Reducer failures can be injected to reproduce the paper's Fig. 2
+// recovery behaviour.
+package exec
+
+import (
+	"fmt"
+
+	"wanshuffle/internal/dag"
+	"wanshuffle/internal/rdd"
+	"wanshuffle/internal/sched"
+	"wanshuffle/internal/shuffle"
+	"wanshuffle/internal/sim"
+	"wanshuffle/internal/simnet"
+	"wanshuffle/internal/topology"
+	"wanshuffle/internal/trace"
+)
+
+// Traffic tags used for cross-DC byte attribution.
+const (
+	TagInput      = "input"      // reading job input remotely
+	TagCache      = "cache"      // reading a cached partition remotely
+	TagShuffle    = "shuffle"    // fetch-based shuffle reads
+	TagPush       = "push"       // transferTo pushes
+	TagResult     = "result"     // result collection to the driver
+	TagCentralize = "centralize" // Centralized-baseline input aggregation
+)
+
+// FailureSpec injects a deterministic failure into a reduce task attempt,
+// reproducing the paper's Fig. 2 scenario.
+type FailureSpec struct {
+	// Stage matches the stage's output RDD name.
+	Stage string
+	// Part is the task (reduce partition) index.
+	Part int
+	// Attempt is the attempt number to fail (1 = first).
+	Attempt int
+	// AtFrac is the fraction of the compute span at which the failure
+	// strikes, in [0,1].
+	AtFrac float64
+}
+
+// Config tunes the execution model. Zero values take the defaults noted on
+// each field, calibrated so that Table I workloads land in the paper's JCT
+// range.
+type Config struct {
+	// ComputeBps is the modeled processing throughput per core, in bytes
+	// of modeled input per second. Default 40 MB/s, calibrated to the
+	// paper's m3.large workers (2 vCPUs of 2014-era hardware running
+	// HiBench JVM jobs).
+	ComputeBps float64
+	// DiskBps is the local disk throughput. Default 200 MB/s.
+	DiskBps float64
+	// TaskOverhead is the fixed launch cost per task attempt. Default
+	// 0.15 s.
+	TaskOverhead float64
+	// ComputeNoise is the relative amplitude of per-task compute time
+	// jitter. Default 0.08; set negative to disable.
+	ComputeNoise float64
+	// MaxAttempts bounds task retries. Default 4 (Spark's default).
+	MaxAttempts int
+	// ReducerLocalityFraction is the share of a reducer's input a host
+	// must hold to become a preferred location (Spark's
+	// REDUCER_PREF_LOCS_FRACTION = 0.2).
+	ReducerLocalityFraction float64
+	// ReduceFailureProb injects random first-attempt failures into reduce
+	// tasks with this probability.
+	ReduceFailureProb float64
+	// ScriptedFailures injects specific failures.
+	ScriptedFailures []FailureSpec
+	// PinReducersDC, when non-nil, forces shuffle-reading tasks into one
+	// datacenter. Used by the Fig. 1 / Fig. 2 micro-benchmarks to pin the
+	// scenario's placement; never set for real workloads.
+	PinReducersDC *topology.DCID
+	// NoPipelining delays every transferTo push until the whole phase has
+	// finished (a barrier), disabling the paper's early-transfer
+	// pipelining. Ablation knob; off by default.
+	NoPipelining bool
+	// Speculation enables Spark-style speculative execution: once
+	// SpeculationQuantile of a stage's tasks have finished, stragglers
+	// running longer than SpeculationMultiplier× the median duration get
+	// a second copy; the first finisher wins. Mitigates the slow-link and
+	// slow-node stragglers of Sec. II-B.
+	Speculation bool
+	// SpeculationQuantile defaults to 0.75 (spark.speculation.quantile).
+	SpeculationQuantile float64
+	// SpeculationMultiplier defaults to 1.5
+	// (spark.speculation.multiplier).
+	SpeculationMultiplier float64
+	// SlowHosts emulates degraded machines: a per-host multiplier on
+	// compute speed (0.2 = 5× slower). The classic straggler source
+	// speculative execution exists for.
+	SlowHosts map[topology.HostID]float64
+	// HostFailures kills workers at given virtual times: slots, shuffle
+	// files, and caches on them are lost; shuffle reads recover by
+	// recomputing the lost map outputs (Spark's FetchFailed path).
+	HostFailures []HostFailure
+	// AggregatorPolicy overrides how automatic transfers choose their
+	// datacenter. Ablation knob; default AggregatorBest.
+	AggregatorPolicy AggregatorPolicy
+
+	Sched sched.Config
+	Net   simnet.Config
+	// Trace enables span recording (Gantt timelines).
+	Trace bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.ComputeBps <= 0 {
+		c.ComputeBps = 40e6
+	}
+	if c.DiskBps <= 0 {
+		c.DiskBps = 200e6
+	}
+	if c.TaskOverhead <= 0 {
+		c.TaskOverhead = 0.15
+	}
+	if c.ComputeNoise == 0 {
+		c.ComputeNoise = 0.08
+	} else if c.ComputeNoise < 0 {
+		c.ComputeNoise = 0
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.ReducerLocalityFraction <= 0 {
+		c.ReducerLocalityFraction = 0.2
+	}
+	if c.SpeculationQuantile <= 0 || c.SpeculationQuantile > 1 {
+		c.SpeculationQuantile = 0.75
+	}
+	if c.SpeculationMultiplier <= 1 {
+		c.SpeculationMultiplier = 1.5
+	}
+	return c
+}
+
+// Engine executes jobs over one simulated cluster. Caches and shuffle
+// output persist across jobs run on the same engine; RunMany executes
+// several jobs concurrently on the shared cluster. The engine itself is
+// single-threaded (the simulation is deterministic) — drive separate
+// Engines from separate goroutines for parallel experiments.
+type Engine struct {
+	Clock  *sim.Clock
+	Net    *simnet.Network
+	Topo   *topology.Topology
+	Sched  *sched.Scheduler
+	Tracer *trace.Recorder
+
+	cfg      Config
+	reg      *shuffle.Registry
+	noiseRNG sim.RNG
+	failRNG  sim.RNG
+	aggRNG   sim.RNG
+
+	cache map[int][]*cachedPart // RDD ID → per-partition cached copies
+
+	deadHosts []bool
+	// producers maps shuffle ID → the stage that computes its map output,
+	// for failure recovery.
+	producers  map[int]*stageState
+	recovering map[recoveryKey]bool
+
+	activeJobs int
+}
+
+type cachedPart struct {
+	host    topology.HostID
+	records []rdd.Pair
+	modeled float64
+}
+
+// New builds an engine over a fresh simulated cluster.
+func New(topo *topology.Topology, seed int64, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	// Reproduce Spark 1.6's randomized resource offers (the scheduler the
+	// paper leaves untouched); seeded so runs stay deterministic.
+	cfg.Sched.RandomOffers = true
+	cfg.Sched.Seed = seed
+	clock := sim.NewClock()
+	e := &Engine{
+		Clock:      clock,
+		Net:        simnet.New(clock, topo, seed, cfg.Net),
+		Topo:       topo,
+		Sched:      sched.New(clock, topo, cfg.Sched),
+		cfg:        cfg,
+		reg:        shuffle.NewRegistry(),
+		noiseRNG:   sim.Stream(seed, "exec.noise"),
+		failRNG:    sim.Stream(seed, "exec.failure"),
+		aggRNG:     sim.Stream(seed, "exec.aggpolicy"),
+		cache:      make(map[int][]*cachedPart),
+		deadHosts:  make([]bool, topo.NumHosts()),
+		producers:  make(map[int]*stageState),
+		recovering: make(map[recoveryKey]bool),
+	}
+	e.scheduleHostFailures()
+	if cfg.Trace {
+		e.Tracer = &trace.Recorder{}
+	}
+	return e
+}
+
+// AggregatorPolicy selects the automatic-aggregation rule (ablations of
+// the paper's Sec. III-B analysis).
+type AggregatorPolicy int
+
+// Aggregator policies.
+const (
+	// AggregatorBest picks the DC with the largest input share — the
+	// paper's rule (Eq. 2 optimum).
+	AggregatorBest AggregatorPolicy = iota
+	// AggregatorRandom picks a seeded random DC.
+	AggregatorRandom
+	// AggregatorWorst picks the DC with the smallest input share (the
+	// Eq. 2 pessimum), bounding how much the selection rule matters.
+	AggregatorWorst
+)
+
+// Action selects what Run does with the final RDD.
+type Action int
+
+// Actions.
+const (
+	// ActionCollect ships every result partition to the driver.
+	ActionCollect Action = iota + 1
+	// ActionCount ships only per-partition counts.
+	ActionCount
+	// ActionSave writes result partitions to node-local storage (HDFS
+	// output, as the HiBench jobs do) and acknowledges the driver; the
+	// records are still returned for validation but incur no result
+	// traffic.
+	ActionSave
+)
+
+// StageSpan reports one stage's execution window (Fig. 9's unit).
+type StageSpan struct {
+	ID    int
+	Name  string
+	Start float64
+	End   float64
+}
+
+// Result reports one job run.
+type Result struct {
+	// Action is the action that produced this result.
+	Action Action
+	// Records holds the output records (ActionCollect and ActionSave),
+	// concatenated in partition order.
+	Records []rdd.Pair
+	// Counts holds per-partition record counts (ActionCount).
+	Counts []int
+	// Start/End/JCT are virtual times in seconds.
+	Start, End, JCT float64
+	Stages          []StageSpan
+	// CrossDCBytes is the cross-datacenter traffic incurred by this job.
+	CrossDCBytes float64
+	// CrossDCByTag splits it by traffic class (input / shuffle / push /
+	// result / centralize / cache).
+	CrossDCByTag map[string]float64
+	// PairBytes[i][j] is the job's cross-DC traffic from DC i to DC j —
+	// the "inter-datacenter transfers visible to the developer" point of
+	// Sec. IV-E (the paper surfaces them in the Spark WebUI).
+	PairBytes [][]float64
+	// TaskAttempts counts every task attempt launched, including failed
+	// ones.
+	TaskAttempts int
+}
+
+// RunOptions tune one job run.
+type RunOptions struct {
+	// Centralize ships all job input to the datacenter holding the most
+	// input bytes before any stage starts — the paper's "Centralized"
+	// baseline.
+	Centralize bool
+}
+
+// jobState tracks one running job.
+type jobState struct {
+	action  Action
+	plan    *dag.Plan
+	stages  []*stageState
+	byStage map[*dag.Stage]*stageState
+
+	resultRecords [][]rdd.Pair
+	resultCounts  []int
+	resultsIn     int
+
+	startCross float64
+	startByTag map[string]float64
+	startPair  [][]float64
+	start      float64
+
+	attempts int
+	done     bool
+	end      float64
+	err      error
+
+	// pinDC confines every task to one datacenter (Centralized baseline:
+	// "after all data is centralized within a cluster, Spark works within
+	// a datacenter").
+	pinDC *topology.DCID
+}
+
+type stageState struct {
+	st             *dag.Stage
+	job            *jobState
+	pendingParents int
+	launched       bool
+	tasksDone      int
+	span           StageSpan
+	// aggRank ranks datacenters for automatic transfers (best first,
+	// per the configured AggregatorPolicy).
+	aggRank     []topology.DCID
+	aggResolved bool
+	// startPhase skips leading phases whose transfer boundary is already
+	// fully cached (Spark's getCacheLocs short-circuit): re-running them
+	// would repeat the push the cache exists to avoid (Sec. IV-E).
+	startPhase int
+	// phaseDone counts completed tasks per phase; heldHandoffs queues
+	// pushes when NoPipelining forces a barrier.
+	phaseDone    []int
+	heldHandoffs [][]func()
+
+	// completed latches the first full completion, so post-failure
+	// recomputations don't re-trigger child launches.
+	completed bool
+
+	// Speculation bookkeeping: per-partition completion, launch times,
+	// finished-task durations, and already-speculated markers.
+	partDone   []bool
+	partStart  []float64
+	partRun    []bool
+	partHost   []topology.HostID
+	durations  []float64
+	speculated []bool
+	specTimer  sim.Timer
+}
+
+// JobSpec describes one job for RunMany.
+type JobSpec struct {
+	Target *rdd.RDD
+	Action Action
+	Opts   RunOptions
+}
+
+// Run executes an action on the target RDD and returns the job report.
+func (e *Engine) Run(target *rdd.RDD, action Action, opts RunOptions) (*Result, error) {
+	results, err := e.RunMany([]JobSpec{{Target: target, Action: action, Opts: opts}})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// RunMany launches every job at the current instant and runs them
+// concurrently on the shared cluster — the multi-tenant setting of the
+// paper's Sec. IV-E discussion ("it is common that a Spark cluster is
+// shared by multiple jobs"). Jobs contend for the same task slots and
+// network links; results are returned in spec order.
+func (e *Engine) RunMany(specs []JobSpec) ([]*Result, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	if e.activeJobs != 0 {
+		return nil, fmt.Errorf("exec: engine already running %d job(s)", e.activeJobs)
+	}
+	jobs := make([]*jobState, len(specs))
+	for i, spec := range specs {
+		job, err := e.prepareJob(spec.Target, spec.Action)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = job
+	}
+	e.activeJobs = len(jobs)
+	for i, spec := range specs {
+		e.startJob(jobs[i], spec.Opts)
+	}
+
+	allDone := func() bool {
+		for _, job := range jobs {
+			if !job.done {
+				return false
+			}
+		}
+		return true
+	}
+	// Drive the simulation until every job completes. The step cap is a
+	// runaway backstop far above any real workload's event count.
+	const maxSteps = 20_000_000
+	steps := 0
+	for !allDone() && e.Clock.Step() {
+		steps++
+		if steps >= maxSteps {
+			e.activeJobs = 0
+			return nil, fmt.Errorf("exec: event-loop runaway at t=%.3f: %s; active flows=%d",
+				e.Clock.Now(), e.stallDiagnostic(jobs), e.Net.ActiveFlows())
+		}
+	}
+	e.activeJobs = 0
+	if !allDone() {
+		return nil, fmt.Errorf("exec: simulation stalled: %s", e.stallDiagnostic(jobs))
+	}
+	results := make([]*Result, len(jobs))
+	for i, job := range jobs {
+		if job.err != nil {
+			return nil, job.err
+		}
+		results[i] = e.report(job)
+	}
+	return results, nil
+}
+
+// prepareJob plans a job and registers its shuffles.
+func (e *Engine) prepareJob(target *rdd.RDD, action Action) (*jobState, error) {
+	plan, err := dag.BuildPlan(target)
+	if err != nil {
+		return nil, fmt.Errorf("exec: planning failed: %w", err)
+	}
+	job := &jobState{
+		action:        action,
+		plan:          plan,
+		byStage:       make(map[*dag.Stage]*stageState),
+		resultRecords: make([][]rdd.Pair, plan.Final.NumTasks),
+		resultCounts:  make([]int, plan.Final.NumTasks),
+		startCross:    e.Net.CrossDCBytes(),
+		startByTag:    e.Net.CrossDCBytesByTag(),
+		startPair:     e.pairSnapshot(),
+		start:         e.Clock.Now(),
+	}
+	for _, st := range plan.Stages {
+		ss := &stageState{st: st, job: job, pendingParents: len(st.Parents)}
+		job.stages = append(job.stages, ss)
+		job.byStage[st] = ss
+		if st.OutSpec != nil {
+			e.reg.Register(st.OutSpec, st.NumTasks)
+			e.producers[st.OutSpec.ID] = ss
+		}
+	}
+	return job, nil
+}
+
+func (e *Engine) startJob(job *jobState, opts RunOptions) {
+	begin := func() {
+		for _, ss := range job.stages {
+			if ss.pendingParents == 0 {
+				e.launchStage(ss)
+			}
+		}
+	}
+	if opts.Centralize {
+		e.centralizeInputs(job, begin)
+	} else {
+		begin()
+	}
+}
+
+// report assembles a completed job's Result.
+func (e *Engine) report(job *jobState) *Result {
+	res := &Result{
+		Counts:       job.resultCounts,
+		Action:       job.action,
+		Start:        job.start,
+		End:          job.end,
+		JCT:          job.end - job.start,
+		CrossDCBytes: e.Net.CrossDCBytes() - job.startCross,
+		CrossDCByTag: map[string]float64{},
+		TaskAttempts: job.attempts,
+	}
+	for tag, b := range e.Net.CrossDCBytesByTag() {
+		if d := b - job.startByTag[tag]; d > 0 {
+			res.CrossDCByTag[tag] = d
+		}
+	}
+	endPair := e.pairSnapshot()
+	res.PairBytes = make([][]float64, len(endPair))
+	for i := range endPair {
+		res.PairBytes[i] = make([]float64, len(endPair[i]))
+		for j := range endPair[i] {
+			res.PairBytes[i][j] = endPair[i][j] - job.startPair[i][j]
+		}
+	}
+	if job.action == ActionCollect || job.action == ActionSave {
+		for _, part := range job.resultRecords {
+			res.Records = append(res.Records, part...)
+		}
+	}
+	for _, ss := range job.stages {
+		res.Stages = append(res.Stages, ss.span)
+	}
+	return res
+}
+
+func (e *Engine) pairSnapshot() [][]float64 {
+	n := e.Topo.NumDCs()
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			out[i][j] = e.Net.PairBytes(topology.DCID(i), topology.DCID(j))
+		}
+	}
+	return out
+}
+
+func (e *Engine) stallDiagnostic(jobs []*jobState) string {
+	msg := ""
+	for ji, job := range jobs {
+		for _, ss := range job.stages {
+			msg += fmt.Sprintf("j%d/%s[launched=%v done=%d/%d] ", ji, ss.st.Name(), ss.launched, ss.tasksDone, ss.st.NumTasks)
+		}
+	}
+	return msg + fmt.Sprintf("queue=%d", e.Sched.QueueLen())
+}
+
+// centralizeInputs ships every input partition of the job's plan to the
+// datacenter holding the largest input share, then calls done.
+func (e *Engine) centralizeInputs(job *jobState, done func()) {
+	plan := job.plan
+	srcSeen := map[int]*rdd.RDD{}
+	for _, st := range plan.Stages {
+		for _, src := range st.Sources {
+			srcSeen[src.ID] = src
+		}
+	}
+	byDC := make([]float64, e.Topo.NumDCs())
+	var srcs []*rdd.RDD
+	for _, st := range plan.Stages {
+		for _, src := range st.Sources {
+			if srcSeen[src.ID] == nil {
+				continue
+			}
+			srcSeen[src.ID] = nil
+			srcs = append(srcs, src)
+			for i := range src.Input {
+				byDC[e.Topo.DCOf(src.Input[i].Host)] += src.Input[i].ModeledBytes
+			}
+		}
+	}
+	target, _ := shuffle.BestAggregator(byDC)
+	pinned := topology.DCID(target)
+	job.pinDC = &pinned
+	workers := e.Topo.HostsIn(topology.DCID(target))
+	pending := 0
+	next := 0
+	finished := false
+	complete := func() {
+		if pending == 0 && finished {
+			done()
+		}
+	}
+	for _, src := range srcs {
+		for i := range src.Input {
+			part := &src.Input[i]
+			if e.Topo.DCOf(part.Host) == topology.DCID(target) {
+				continue
+			}
+			dst := workers[next%len(workers)]
+			next++
+			pending++
+			from := part.Host
+			modeled := part.ModeledBytes
+			start := e.Clock.Now()
+			e.Net.StartFlow(from, dst, modeled, TagCentralize, func() {
+				// The received blocks are written into the central DC's
+				// HDFS before the job can read them.
+				e.Clock.After(modeled/e.cfg.DiskBps, func() {
+					part.Host = dst
+					pending--
+					e.trace(trace.Span{Kind: trace.KindInput, Host: dst, Start: start, End: e.Clock.Now(), Label: "centralize"})
+					complete()
+				})
+			})
+		}
+	}
+	finished = true
+	complete()
+}
+
+func (e *Engine) trace(s trace.Span) {
+	e.Tracer.Add(s)
+}
+
+// noise returns the multiplicative compute-time jitter for one task.
+func (e *Engine) noise() float64 {
+	if e.cfg.ComputeNoise <= 0 {
+		return 1
+	}
+	return e.noiseRNG.Jitter(e.cfg.ComputeNoise)
+}

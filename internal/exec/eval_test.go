@@ -1,0 +1,178 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"wanshuffle/internal/rdd"
+	"wanshuffle/internal/topology"
+)
+
+func TestScaleTo(t *testing.T) {
+	cases := []struct {
+		outReal, inReal, inModeled, want float64
+	}{
+		{50, 100, 1000, 500},   // 10x scale preserved
+		{200, 100, 1000, 2000}, // bloat scales up
+		{0, 100, 1000, 0},
+		{50, 0, 1000, 50}, // no real input: fall back to real size
+	}
+	for _, c := range cases {
+		if got := scaleTo(c.outReal, c.inReal, c.inModeled); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("scaleTo(%v,%v,%v) = %v, want %v", c.outReal, c.inReal, c.inModeled, got, c.want)
+		}
+	}
+}
+
+func evalFixture(t *testing.T) (*Engine, *rdd.Graph) {
+	t.Helper()
+	topo := topology.TwoDCMicro(2, 0.25)
+	return New(topo, 1, Config{}), rdd.NewGraph()
+}
+
+func TestWalkNeedsSource(t *testing.T) {
+	eng, g := evalFixture(t)
+	in := g.Input("in", []rdd.InputPartition{
+		{Host: 2, ModeledBytes: 77, Records: []rdd.Pair{rdd.KV("a", 1)}},
+	})
+	mapped := in.Map("m", func(p rdd.Pair) rdd.Pair { return p })
+	var needs []need
+	eng.walkNeeds(mapped, 0, nil, &needs)
+	if len(needs) != 1 || needs[0].kind != needSource || needs[0].host != 2 || needs[0].modeled != 77 {
+		t.Fatalf("needs = %+v", needs)
+	}
+}
+
+func TestWalkNeedsStopsAtBound(t *testing.T) {
+	eng, g := evalFixture(t)
+	in := g.Input("in", []rdd.InputPartition{
+		{Host: 0, ModeledBytes: 10, Records: []rdd.Pair{rdd.KV("a", 1)}},
+	})
+	moved := in.TransferTo(1)
+	top := moved.Map("m", func(p rdd.Pair) rdd.Pair { return p })
+	bound := map[int]partData{moved.ID: {records: nil, modeled: 10}}
+	var needs []need
+	eng.walkNeeds(top, 0, bound, &needs)
+	if len(needs) != 0 {
+		t.Fatalf("bound boundary leaked needs: %+v", needs)
+	}
+}
+
+func TestWalkNeedsShuffleBoundary(t *testing.T) {
+	eng, g := evalFixture(t)
+	in := g.Input("in", []rdd.InputPartition{
+		{Host: 0, ModeledBytes: 10, Records: []rdd.Pair{rdd.KV("a", 1)}},
+	})
+	red := in.ReduceByKey("r", 2, sum)
+	post := red.Map("post", func(p rdd.Pair) rdd.Pair { return p })
+	var needs []need
+	eng.walkNeeds(post, 0, nil, &needs)
+	if len(needs) != 1 || needs[0].kind != needShuffleRead || needs[0].node != red {
+		t.Fatalf("needs = %+v", needs)
+	}
+}
+
+func TestWalkNeedsCachedShortCircuit(t *testing.T) {
+	eng, g := evalFixture(t)
+	in := g.Input("in", []rdd.InputPartition{
+		{Host: 0, ModeledBytes: 10, Records: []rdd.Pair{rdd.KV("a", 1)}},
+	})
+	cached := in.Map("m", func(p rdd.Pair) rdd.Pair { return p }).Cache()
+	top := cached.Map("top", func(p rdd.Pair) rdd.Pair { return p })
+
+	// Before materialization the walk recurses to the source.
+	var needs []need
+	eng.walkNeeds(top, 0, nil, &needs)
+	if len(needs) != 1 || needs[0].kind != needSource {
+		t.Fatalf("pre-cache needs = %+v", needs)
+	}
+	// After materialization it stops at the cached copy.
+	eng.storeCache(cached, 0, 3, partData{records: []rdd.Pair{rdd.KV("a", 1)}, modeled: 42})
+	needs = nil
+	eng.walkNeeds(top, 0, nil, &needs)
+	if len(needs) != 1 || needs[0].kind != needCached || needs[0].host != 3 || needs[0].modeled != 42 {
+		t.Fatalf("post-cache needs = %+v", needs)
+	}
+}
+
+func TestStoreCacheFirstWriteWins(t *testing.T) {
+	eng, g := evalFixture(t)
+	in := g.Input("in", []rdd.InputPartition{
+		{Host: 0, ModeledBytes: 10, Records: []rdd.Pair{rdd.KV("a", 1)}},
+	})
+	cached := in.Map("m", func(p rdd.Pair) rdd.Pair { return p }).Cache()
+	eng.storeCache(cached, 0, 1, partData{modeled: 11})
+	eng.storeCache(cached, 0, 2, partData{modeled: 22})
+	cp := eng.cachedPart(cached, 0)
+	if cp == nil || cp.host != 1 || cp.modeled != 11 {
+		t.Fatalf("cache = %+v, want first write kept", cp)
+	}
+	// Non-cached RDDs never store.
+	plain := in.Map("p", func(p rdd.Pair) rdd.Pair { return p })
+	eng.storeCache(plain, 0, 1, partData{modeled: 9})
+	if eng.cachedPart(plain, 0) != nil {
+		t.Fatal("non-cached RDD stored a cache entry")
+	}
+}
+
+func TestEvaluateChargesCost(t *testing.T) {
+	eng, g := evalFixture(t)
+	in := g.Input("in", []rdd.InputPartition{
+		{Host: 0, ModeledBytes: 1000, Records: []rdd.Pair{rdd.KV("a", "xx")}},
+	})
+	m1 := in.Map("m1", func(p rdd.Pair) rdd.Pair { return p })
+	m2 := m1.Map("m2", func(p rdd.Pair) rdd.Pair { return p }).WithCostFactor(3)
+	var cost float64
+	out := eng.evaluate(m2, 0, 0, map[int]partData{}, &cost)
+	// m1 charges 1000 (factor 1), m2 charges 3×m1's modeled output
+	// (= 1000, identity map).
+	if math.Abs(cost-4000) > 1e-9 {
+		t.Fatalf("cost = %v, want 4000", cost)
+	}
+	if math.Abs(out.modeled-1000) > 1e-9 {
+		t.Fatalf("modeled = %v, want 1000 (identity chain)", out.modeled)
+	}
+}
+
+func TestEvaluateTransferNodesAreFreeCPU(t *testing.T) {
+	eng, g := evalFixture(t)
+	in := g.Input("in", []rdd.InputPartition{
+		{Host: 0, ModeledBytes: 500, Records: []rdd.Pair{rdd.KV("a", "x")}},
+	})
+	moved := in.TransferTo(1)
+	var cost float64
+	out := eng.evaluate(moved, 0, 0, map[int]partData{}, &cost)
+	if cost != 0 {
+		t.Fatalf("transfer node charged CPU: %v", cost)
+	}
+	if out.modeled != 500 {
+		t.Fatalf("modeled = %v", out.modeled)
+	}
+}
+
+func TestEvaluateUnboundShufflePanics(t *testing.T) {
+	eng, g := evalFixture(t)
+	in := g.Input("in", []rdd.InputPartition{
+		{Host: 0, ModeledBytes: 10, Records: []rdd.Pair{rdd.KV("a", 1)}},
+	})
+	red := in.ReduceByKey("r", 2, sum)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unacquired shuffle boundary")
+		}
+	}()
+	var cost float64
+	eng.evaluate(red, 0, 0, map[int]partData{}, &cost)
+}
+
+func TestModeledBytesShrinkWithFilter(t *testing.T) {
+	eng, g := evalFixture(t)
+	recs := []rdd.Pair{rdd.KV("keep", "x"), rdd.KV("drop", "x"), rdd.KV("keep", "x"), rdd.KV("drop", "x")}
+	in := g.Input("in", []rdd.InputPartition{{Host: 0, ModeledBytes: 1000, Records: recs}})
+	half := in.Filter("half", func(p rdd.Pair) bool { return p.Key == "keep" })
+	var cost float64
+	out := eng.evaluate(half, 0, 0, map[int]partData{}, &cost)
+	if math.Abs(out.modeled-500) > 1e-9 {
+		t.Fatalf("filtered modeled = %v, want 500 (half the records, equal sizes)", out.modeled)
+	}
+}

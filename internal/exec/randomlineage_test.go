@@ -1,0 +1,137 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wanshuffle/internal/dag"
+	"wanshuffle/internal/rdd"
+	"wanshuffle/internal/topology"
+)
+
+// buildRandomLineage constructs a random but valid job from a seeded
+// grammar: input → (narrow | shuffle)* with bounded depth. The same seed
+// rebuilds the identical lineage, so the engine's output can be compared
+// against a fresh in-memory evaluation.
+func buildRandomLineage(seed int64, g *rdd.Graph, topo *topology.Topology) *rdd.RDD {
+	rng := rand.New(rand.NewSource(seed))
+	workers := topo.Workers()
+
+	numParts := rng.Intn(10) + 2
+	parts := make([]rdd.InputPartition, numParts)
+	for p := range parts {
+		n := rng.Intn(30) + 1
+		recs := make([]rdd.Pair, n)
+		for i := range recs {
+			recs[i] = rdd.KV(fmt.Sprintf("k%02d", rng.Intn(12)), rng.Intn(100))
+		}
+		parts[p] = rdd.InputPartition{
+			Host:         workers[rng.Intn(len(workers))],
+			ModeledBytes: float64(rng.Intn(20)+1) * mb,
+			Records:      recs,
+		}
+	}
+	node := g.Input(fmt.Sprintf("in%d", seed), parts)
+
+	depth := rng.Intn(4) + 1
+	for d := 0; d < depth; d++ {
+		switch rng.Intn(5) {
+		case 0:
+			node = node.Map(fmt.Sprintf("map%d", d), func(p rdd.Pair) rdd.Pair {
+				return rdd.KV(p.Key, p.Value.(int)+1)
+			})
+		case 1:
+			node = node.Filter(fmt.Sprintf("filter%d", d), func(p rdd.Pair) bool {
+				return p.Value.(int)%3 != 0
+			})
+		case 2:
+			node = node.FlatMap(fmt.Sprintf("flat%d", d), func(p rdd.Pair) []rdd.Pair {
+				return []rdd.Pair{p, rdd.KV(p.Key+"x", p.Value)}
+			})
+		case 3:
+			node = node.ReduceByKey(fmt.Sprintf("sum%d", d), rng.Intn(6)+2, func(a, b rdd.Value) rdd.Value {
+				return a.(int) + b.(int)
+			})
+		case 4:
+			grouped := node.GroupByKey(fmt.Sprintf("grp%d", d), rng.Intn(6)+2)
+			node = grouped.Map(fmt.Sprintf("size%d", d), func(p rdd.Pair) rdd.Pair {
+				return rdd.KV(p.Key, len(p.Value.([]rdd.Value)))
+			})
+		}
+	}
+	// Terminal combining shuffle keeps outputs small and deterministic.
+	return node.ReduceByKey("final", 4, func(a, b rdd.Value) rdd.Value {
+		return a.(int) + b.(int)
+	})
+}
+
+// TestQuickRandomLineagesAllSchemes drives random jobs through the full
+// simulated cluster under every scheme and checks the output against the
+// in-memory reference evaluator.
+func TestQuickRandomLineagesAllSchemes(t *testing.T) {
+	topo := topology.SixRegionEC2()
+	f := func(seedRaw uint16) bool {
+		seed := int64(seedRaw)
+		want := canon(rdd.CollectLocal(buildRandomLineage(seed, rdd.NewGraph(), topo)))
+		for _, mode := range []struct {
+			name string
+			agg  bool
+			opts RunOptions
+		}{
+			{"spark", false, RunOptions{}},
+			{"centralized", false, RunOptions{Centralize: true}},
+			{"aggshuffle", true, RunOptions{}},
+		} {
+			job := buildRandomLineage(seed, rdd.NewGraph(), topo)
+			if mode.agg {
+				dag.AutoAggregate(job)
+			}
+			eng := New(topo, seed+1, Config{})
+			res, err := eng.Run(job, ActionSave, mode.opts)
+			if err != nil {
+				t.Logf("seed %d %s: %v", seed, mode.name, err)
+				return false
+			}
+			if canon(res.Records) != want {
+				t.Logf("seed %d %s: output diverges from reference", seed, mode.name)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRandomLineagesWithChaos re-runs random jobs with speculation,
+// random reduce failures, and compute noise all enabled at once.
+func TestQuickRandomLineagesWithChaos(t *testing.T) {
+	topo := topology.SixRegionEC2()
+	f := func(seedRaw uint16) bool {
+		seed := int64(seedRaw)
+		want := canon(rdd.CollectLocal(buildRandomLineage(seed, rdd.NewGraph(), topo)))
+		job := buildRandomLineage(seed, rdd.NewGraph(), topo)
+		dag.AutoAggregate(job)
+		eng := New(topo, seed+1, Config{
+			Speculation:       true,
+			ReduceFailureProb: 0.3,
+			ComputeNoise:      0.5,
+		})
+		res, err := eng.Run(job, ActionSave, RunOptions{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if canon(res.Records) != want {
+			t.Logf("seed %d: chaos run diverges from reference", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

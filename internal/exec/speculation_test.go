@@ -1,0 +1,102 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"wanshuffle/internal/rdd"
+	"wanshuffle/internal/topology"
+)
+
+// stragglerJob builds a single-stage job whose partitions are uniform, so
+// any large completion-time spread comes from injected compute noise.
+func stragglerJob(topo *topology.Topology) *rdd.RDD {
+	g := rdd.NewGraph()
+	var parts []rdd.InputPartition
+	workers := topo.Workers()
+	for i := 0; i < 24; i++ {
+		parts = append(parts, rdd.InputPartition{
+			Host: workers[i%len(workers)], ModeledBytes: 40 * mb,
+			Records: []rdd.Pair{rdd.KV(fmt.Sprintf("k%d", i), 1)},
+		})
+	}
+	in := g.Input("in", parts)
+	return in.Map("slow", func(p rdd.Pair) rdd.Pair { return p })
+}
+
+func TestSpeculationRescuesStragglers(t *testing.T) {
+	topo := topology.SixRegionEC2()
+	// One degraded machine computes at 1/10th speed — the classic
+	// straggler node speculative execution targets.
+	slow := map[topology.HostID]float64{topo.Workers()[5]: 0.1}
+	run := func(spec bool, seed int64) (float64, int) {
+		eng := New(topo, seed, Config{
+			Speculation:  spec,
+			ComputeNoise: -1,
+			SlowHosts:    slow,
+		})
+		res, err := eng.Run(stragglerJob(topo), ActionSave, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Records) != 24 {
+			t.Fatalf("lost records: %d", len(res.Records))
+		}
+		return res.JCT, res.TaskAttempts
+	}
+	jctSpec, attemptsSpec := run(true, 1)
+	jctBase, attemptsBase := run(false, 1)
+	if attemptsSpec <= attemptsBase {
+		t.Fatalf("no speculative copies launched: %d vs %d attempts", attemptsSpec, attemptsBase)
+	}
+	if jctSpec >= jctBase*0.9 {
+		t.Fatalf("speculation did not rescue the straggler: %.2f vs %.2f", jctSpec, jctBase)
+	}
+}
+
+func TestSpeculationPreservesCorrectness(t *testing.T) {
+	topo := topology.SixRegionEC2()
+	build := func() *rdd.RDD {
+		g := rdd.NewGraph()
+		return wordCount(spreadInput(g, topo, 5*mb), 8)
+	}
+	eng := New(topo, 3, Config{Speculation: true, ComputeNoise: 0.9})
+	res, err := eng.Run(build(), ActionCollect, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon(res.Records) != canon(rdd.CollectLocal(build())) {
+		t.Fatal("speculative execution corrupted results")
+	}
+}
+
+func TestSpeculationOffByDefault(t *testing.T) {
+	topo := topology.TwoDCMicro(2, 0.25)
+	g := rdd.NewGraph()
+	in := spreadInput(g, topo, mb)
+	eng := New(topo, 1, Config{ComputeNoise: 0.9})
+	res, err := eng.Run(in, ActionCount, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskAttempts != 4 {
+		t.Fatalf("attempts = %d, want exactly one per partition", res.TaskAttempts)
+	}
+}
+
+func TestSpeculationDeterministic(t *testing.T) {
+	topo := topology.SixRegionEC2()
+	run := func() (float64, int) {
+		eng := New(topo, 5, Config{Speculation: true, ComputeNoise: 0.9})
+		res, err := eng.Run(stragglerJob(topo), ActionSave, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.JCT, res.TaskAttempts
+	}
+	j1, a1 := run()
+	j2, a2 := run()
+	if j1 != j2 || a1 != a2 {
+		t.Fatalf("speculative runs nondeterministic: (%v,%d) vs (%v,%d)", j1, a1, j2, a2)
+	}
+}

@@ -1,0 +1,727 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"wanshuffle/internal/rdd"
+	"wanshuffle/internal/sched"
+	"wanshuffle/internal/topology"
+	"wanshuffle/internal/trace"
+)
+
+// launchStage starts every phase-0 task of a ready stage.
+func (e *Engine) launchStage(ss *stageState) {
+	if ss.launched {
+		return
+	}
+	ss.launched = true
+	ss.span = StageSpan{ID: ss.st.ID, Name: ss.st.Name(), Start: e.Clock.Now()}
+	ss.phaseDone = make([]int, len(ss.st.Phases))
+	ss.heldHandoffs = make([][]func(), len(ss.st.Phases))
+	ss.partDone = make([]bool, ss.st.NumTasks)
+	ss.partStart = make([]float64, ss.st.NumTasks)
+	ss.partRun = make([]bool, ss.st.NumTasks)
+	ss.partHost = make([]topology.HostID, ss.st.NumTasks)
+	ss.speculated = make([]bool, ss.st.NumTasks)
+	e.resolveAggregator(ss)
+	ss.startPhase = e.resumePhase(ss)
+	for part := 0; part < ss.st.NumTasks; part++ {
+		e.submitTask(&taskRun{ss: ss, part: part, phase: ss.startPhase, attempt: 1})
+	}
+	if e.cfg.Speculation {
+		ss.specTimer = e.Clock.After(specCheckInterval, func() { e.speculationCheck(ss) })
+	}
+}
+
+// resumePhase returns the first phase that must actually run: leading
+// phases whose transfer boundary node is cache-materialized on every
+// partition are skipped, and the next phase reads the cached copies
+// instead of receiving fresh pushes.
+func (e *Engine) resumePhase(ss *stageState) int {
+	start := 0
+	for k := 0; k < len(ss.st.Phases)-1; k++ {
+		node := ss.st.Phases[k].TransferNode
+		if node == nil || !node.Cached {
+			break
+		}
+		parts, ok := e.cache[node.ID]
+		if !ok {
+			break
+		}
+		all := true
+		for _, cp := range parts {
+			if cp == nil {
+				all = false
+				break
+			}
+		}
+		if !all {
+			break
+		}
+		start = k + 1
+	}
+	return start
+}
+
+// specCheckInterval is how often a stage scans for stragglers
+// (spark.speculation.interval is 100 ms; we use a coarser virtual tick).
+const specCheckInterval = 0.5
+
+// speculationCheck launches backup copies of straggling tasks, Spark
+// semantics: once SpeculationQuantile of the stage finished, any running
+// task older than SpeculationMultiplier× the median finished duration gets
+// one speculative copy.
+func (e *Engine) speculationCheck(ss *stageState) {
+	if ss.tasksDone >= ss.st.NumTasks {
+		return
+	}
+	defer func() {
+		ss.specTimer = e.Clock.After(specCheckInterval, func() { e.speculationCheck(ss) })
+	}()
+	if float64(len(ss.durations)) < e.cfg.SpeculationQuantile*float64(ss.st.NumTasks) {
+		return
+	}
+	durs := make([]float64, len(ss.durations))
+	copy(durs, ss.durations)
+	sort.Float64s(durs)
+	threshold := e.cfg.SpeculationMultiplier * durs[len(durs)/2]
+	now := e.Clock.Now()
+	for part := 0; part < ss.st.NumTasks; part++ {
+		if ss.partDone[part] || ss.speculated[part] || !ss.partRun[part] {
+			continue
+		}
+		if now-ss.partStart[part] <= threshold {
+			continue
+		}
+		ss.speculated[part] = true
+		e.submitTask(&taskRun{ss: ss, part: part, phase: ss.startPhase, attempt: 1, speculative: true})
+	}
+}
+
+// claimPartDone marks a partition's logical task complete; the second
+// (speculative or original) finisher loses and must discard its work.
+func (e *Engine) claimPartDone(ss *stageState, part int) bool {
+	if ss.partDone[part] {
+		return false
+	}
+	ss.partDone[part] = true
+	ss.durations = append(ss.durations, e.Clock.Now()-ss.partStart[part])
+	return true
+}
+
+// resolveAggregator picks the stage's automatic aggregator datacenter: the
+// one storing the largest share of the stage's input (Sec. IV-D).
+func (e *Engine) resolveAggregator(ss *stageState) {
+	auto := false
+	for _, ph := range ss.st.Phases {
+		if ph.Transfer != nil && ph.Transfer.Auto {
+			auto = true
+		}
+	}
+	if !auto {
+		return
+	}
+	byDC := make([]float64, e.Topo.NumDCs())
+	for _, src := range ss.st.Sources {
+		for i := range src.Input {
+			byDC[e.Topo.DCOf(src.Input[i].Host)] += src.Input[i].ModeledBytes
+		}
+	}
+	for _, b := range ss.st.Boundaries {
+		if parts, ok := e.cache[b.ID]; ok && b.Cached {
+			allCached := true
+			for _, cp := range parts {
+				if cp == nil {
+					allCached = false
+					break
+				}
+			}
+			if allCached {
+				for _, cp := range parts {
+					byDC[e.Topo.DCOf(cp.host)] += cp.modeled
+				}
+				continue
+			}
+		}
+		for di := range b.Deps {
+			for host, bytes := range e.reg.HostBytes(b.Deps[di].Shuffle.ID) {
+				byDC[e.Topo.DCOf(host)] += bytes
+			}
+		}
+	}
+	rank := make([]topology.DCID, len(byDC))
+	for i := range rank {
+		rank[i] = topology.DCID(i)
+	}
+	sort.SliceStable(rank, func(i, j int) bool { return byDC[rank[i]] > byDC[rank[j]] })
+	switch e.cfg.AggregatorPolicy {
+	case AggregatorBest:
+		// The paper's rule: largest input share first (Eq. 2).
+	case AggregatorWorst:
+		for i, j := 0, len(rank)-1; i < j; i, j = i+1, j-1 {
+			rank[i], rank[j] = rank[j], rank[i]
+		}
+	case AggregatorRandom:
+		e.aggRNG.Shuffle(len(rank), func(i, j int) { rank[i], rank[j] = rank[j], rank[i] })
+	default:
+		panic(fmt.Sprintf("exec: unknown aggregator policy %d", e.cfg.AggregatorPolicy))
+	}
+	ss.aggRank = rank
+	ss.aggResolved = true
+}
+
+// transferTarget resolves the destination datacenter of one partition's
+// push. Auto transfers spread over the policy's top-K ranked DCs.
+func (e *Engine) transferTarget(ss *stageState, spec *rdd.TransferSpec, part int) topology.DCID {
+	if !spec.Auto {
+		return spec.DC
+	}
+	if !ss.aggResolved {
+		panic(fmt.Sprintf("exec: %s: auto transfer without resolved aggregator", ss.st.Name()))
+	}
+	k := spec.K
+	if k < 1 {
+		k = 1
+	}
+	if k > len(ss.aggRank) {
+		k = len(ss.aggRank)
+	}
+	return ss.aggRank[part%k]
+}
+
+// taskRun is one attempt of one partition's work, starting at a given
+// phase. Phase 0 acquires the stage's inputs; later phases are receiver
+// tasks fed by a push from the previous phase.
+type taskRun struct {
+	ss      *stageState
+	phase   int
+	part    int
+	attempt int
+	// speculative marks a backup copy racing the original attempt.
+	speculative bool
+	// receiver marks a transferTo receiver task fed by a push.
+	receiver bool
+	// bound carries the previous phase's output keyed by the transfer
+	// node's RDD ID (nil for phase 0).
+	bound map[int]partData
+	// push describes the pending transfer into this receiver task.
+	pushFrom  topology.HostID
+	pushBytes float64
+}
+
+func (t *taskRun) name() string {
+	tag := ""
+	if t.speculative {
+		tag = ".spec"
+	}
+	return fmt.Sprintf("%s/p%d/t%d#%d%s", t.ss.st.Name(), t.phase, t.part, t.attempt, tag)
+}
+
+func (e *Engine) submitTask(t *taskRun) {
+	t.ss.job.attempts++
+	var prefs []topology.HostID
+	strict := false
+	if t.ss.job.pinDC != nil {
+		// Centralized baseline: every task stays in the central DC.
+		e.Sched.Submit(&sched.Task{
+			Name:      t.name(),
+			PrefHosts: e.Topo.HostsIn(*t.ss.job.pinDC),
+			Strict:    true,
+			Run: func(host topology.HostID, release func()) {
+				e.runTask(t, host, release)
+			},
+		})
+		return
+	}
+	if t.receiver {
+		// Receiver task: pinned to the aggregator datacenter.
+		target := e.transferTarget(t.ss, t.ss.st.Phases[t.phase-1].Transfer, t.part)
+		prefs = e.Topo.HostsIn(target)
+		strict = true
+	} else {
+		prefs = e.prefsFor(t.ss, t.part)
+	}
+	var avoid []topology.HostID
+	if t.speculative {
+		// Spark never places a speculative copy on the original
+		// attempt's host.
+		avoid = []topology.HostID{t.ss.partHost[t.part]}
+	}
+	e.Sched.Submit(&sched.Task{
+		Name:       t.name(),
+		PrefHosts:  prefs,
+		Strict:     strict,
+		AvoidHosts: avoid,
+		Run: func(host topology.HostID, release func()) {
+			e.runTask(t, host, release)
+		},
+	})
+}
+
+// prefsFor derives preferredLocations for a phase-0 task: hosts of its
+// source and cached partitions, plus hosts holding at least
+// ReducerLocalityFraction of its shuffle input (Spark's reducer locality
+// rule). Hosts are ordered by bytes held.
+func (e *Engine) prefsFor(ss *stageState, part int) []topology.HostID {
+	if e.cfg.PinReducersDC != nil && len(ss.st.Boundaries) > 0 {
+		// Keep byte-ordered locality among the pinned DC's hosts so
+		// reducers still land next to their shuffle input.
+		pinned := *e.cfg.PinReducersDC
+		var inDC, rest []topology.HostID
+		for _, h := range e.locality(ss, part) {
+			if e.Topo.DCOf(h) == pinned {
+				inDC = append(inDC, h)
+			}
+		}
+		for _, h := range e.Topo.HostsIn(pinned) {
+			seen := false
+			for _, got := range inDC {
+				if got == h {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				rest = append(rest, h)
+			}
+		}
+		return append(inDC, rest...)
+	}
+	return e.locality(ss, part)
+}
+
+// locality derives byte-ordered preferred hosts for a stage-entry task.
+func (e *Engine) locality(ss *stageState, part int) []topology.HostID {
+	var needs []need
+	e.walkNeeds(ss.st.Phases[ss.startPhase].Top, part, nil, &needs)
+	byHost := map[topology.HostID]float64{}
+	for _, n := range needs {
+		switch n.kind {
+		case needSource, needCached:
+			byHost[n.host] += n.modeled
+		case needShuffleRead:
+			for di := range n.node.Deps {
+				spec := n.node.Deps[di].Shuffle
+				hostBytes := e.reg.ReducerHostBytes(spec.ID, part)
+				var total float64
+				for _, b := range hostBytes {
+					total += b
+				}
+				for h, b := range hostBytes {
+					if total > 0 && b >= e.cfg.ReducerLocalityFraction*total {
+						byHost[h] += b
+					}
+				}
+			}
+		}
+	}
+	hosts := make([]topology.HostID, 0, len(byHost))
+	for h := range byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Slice(hosts, func(i, j int) bool {
+		if byHost[hosts[i]] != byHost[hosts[j]] {
+			return byHost[hosts[i]] > byHost[hosts[j]]
+		}
+		return hosts[i] < hosts[j]
+	})
+	return hosts
+}
+
+// runTask executes one placed task attempt: acquire (or receive) inputs,
+// compute, and hand off (register shuffle output, push to the next phase,
+// or deliver results).
+func (e *Engine) runTask(t *taskRun, host topology.HostID, release func()) {
+	start := e.Clock.Now()
+	if t.phase == t.ss.startPhase && !t.receiver {
+		t.ss.partRun[t.part] = true
+		if !t.speculative {
+			t.ss.partStart[t.part] = start
+			t.ss.partHost[t.part] = host
+		}
+	}
+	if t.ss.partDone[t.part] {
+		// The partition finished while this attempt was queued.
+		release()
+		return
+	}
+	e.Clock.After(e.cfg.TaskOverhead, func() {
+		if t.receiver {
+			e.receiveThenCompute(t, host, release, start)
+			return
+		}
+		e.acquireThenCompute(t, host, release, start)
+	})
+}
+
+// receiveThenCompute handles a receiver task: accept the push flow, spill
+// to disk, then continue the phase chain.
+func (e *Engine) receiveThenCompute(t *taskRun, host topology.HostID, release func(), start float64) {
+	from := t.pushFrom
+	pushStart := e.Clock.Now()
+	e.Net.StartFlow(from, host, t.pushBytes, TagPush, func() {
+		e.trace(trace.Span{Kind: trace.KindPush, Host: from, Stage: t.ss.st.ID, Part: t.part, Start: pushStart, End: e.Clock.Now()})
+		e.Clock.After(t.pushBytes/e.cfg.DiskBps, func() {
+			e.computePhase(t, host, release, start)
+		})
+	})
+}
+
+// acquireThenCompute fetches a phase-0 task's inputs: local disk reads plus
+// concurrent network flows for remote sources, caches, and shuffle shards
+// (the fetch-based all-to-all burst).
+// recoveryPoll is how often a blocked shuffle read re-checks for recovered
+// map output.
+const recoveryPoll = 1.0
+
+func (e *Engine) acquireThenCompute(t *taskRun, host topology.HostID, release func(), start float64) {
+	var needs []need
+	e.walkNeeds(t.ss.st.Phases[t.phase].Top, t.part, t.bound, &needs)
+
+	// Lost shuffle output (host failure) must be recomputed before this
+	// read can proceed: trigger recovery and hold the slot until the map
+	// side refills (Spark fails the stage and waits; holding the reducer
+	// is the event-level equivalent).
+	recoveryPending := false
+	for _, n := range needs {
+		if n.kind != needShuffleRead {
+			continue
+		}
+		for di := range n.node.Deps {
+			if e.recoverShuffle(n.node.Deps[di].Shuffle.ID) {
+				recoveryPending = true
+			}
+		}
+	}
+	if recoveryPending {
+		e.Clock.After(recoveryPoll, func() { e.acquireThenCompute(t, host, release, start) })
+		return
+	}
+
+	var diskBytes float64
+	type remote struct {
+		from  topology.HostID
+		bytes float64
+		tag   string
+	}
+	var remotes []remote
+	isReduce := false
+	for _, n := range needs {
+		switch n.kind {
+		case needSource:
+			src := e.liveReplica(n.host) // HDFS replica if the holder died
+			if src == host {
+				diskBytes += n.modeled
+			} else {
+				remotes = append(remotes, remote{src, n.modeled, TagInput})
+			}
+		case needCached:
+			if n.host != host {
+				remotes = append(remotes, remote{n.host, n.modeled, TagCache})
+			}
+		case needShuffleRead:
+			isReduce = true
+			for di := range n.node.Deps {
+				spec := n.node.Deps[di].Shuffle
+				for _, sh := range e.reg.Shards(spec.ID, t.part) {
+					if sh.ModeledBytes <= 0 {
+						continue
+					}
+					if sh.Host == host {
+						diskBytes += sh.ModeledBytes
+					} else {
+						remotes = append(remotes, remote{sh.Host, sh.ModeledBytes, TagShuffle})
+					}
+				}
+			}
+		}
+	}
+
+	acquireStart := e.Clock.Now()
+	pending := 1 + len(remotes) // disk read counts as one
+	finish := func() {
+		pending--
+		if pending > 0 {
+			return
+		}
+		if len(remotes) > 0 || diskBytes > 0 {
+			kind := trace.KindInput
+			if isReduce {
+				kind = trace.KindFetch
+			}
+			e.trace(trace.Span{Kind: kind, Host: host, Stage: t.ss.st.ID, Part: t.part, Start: acquireStart, End: e.Clock.Now()})
+		}
+		e.computePhase(t, host, release, start)
+	}
+	for _, r := range remotes {
+		e.Net.StartFlow(r.from, host, r.bytes, r.tag, finish)
+	}
+	e.Clock.After(diskBytes/e.cfg.DiskBps, finish)
+}
+
+// computePhase evaluates the phase's records, models the compute duration,
+// optionally injects a reduce failure, then posts the output.
+func (e *Engine) computePhase(t *taskRun, host topology.HostID, release func(), start float64) {
+	if t.ss.partDone[t.part] {
+		// A racing copy already finished this partition.
+		release()
+		return
+	}
+	if e.isDead(host) {
+		// The host died under this attempt; fail over elsewhere.
+		release()
+		if t.attempt >= e.cfg.MaxAttempts {
+			e.failJob(t.ss.job, fmt.Errorf("exec: task %s lost its host %d times", t.name(), t.attempt))
+			return
+		}
+		retry := *t
+		retry.attempt++
+		e.submitTask(&retry)
+		return
+	}
+	st := t.ss.st
+	phase := st.Phases[t.phase]
+	bound := t.bound
+	if bound == nil {
+		bound = map[int]partData{}
+	}
+
+	var cost float64
+	// Aggregate shuffle boundaries reachable by this phase first.
+	var needs []need
+	e.walkNeeds(phase.Top, t.part, bound, &needs)
+	isReduce := false
+	for _, n := range needs {
+		if n.kind == needShuffleRead {
+			isReduce = true
+			// The fetch may have raced a host failure (Spark's
+			// FetchFailed): if output went missing, trigger recovery and
+			// re-fetch once it is restored.
+			for di := range n.node.Deps {
+				if e.recoverShuffle(n.node.Deps[di].Shuffle.ID) {
+					e.Clock.After(recoveryPoll, func() { e.acquireThenCompute(t, host, release, start) })
+					return
+				}
+			}
+			if _, ok := bound[n.node.ID]; !ok {
+				bound[n.node.ID] = e.aggregateShuffle(n.node, t.part, host, &cost)
+			}
+		}
+	}
+	out := e.evaluate(phase.Top, t.part, host, bound, &cost)
+
+	// Map-side combine runs at the end of the stage's first executed
+	// phase, before any push leaves the mapper (Sec. IV-C3).
+	if t.phase == t.ss.startPhase && !t.receiver && st.OutSpec != nil && st.OutSpec.MapSideCombine {
+		combined := rdd.MapSidePrepare(st.OutSpec, out.records)
+		cost += out.modeled * 0.2 // combine pass over the map output
+		out = partData{
+			records: combined,
+			modeled: scaleTo(rdd.SizeOfAll(combined), out.realBytes(), out.modeled),
+		}
+	}
+
+	dur := cost / e.cfg.ComputeBps * e.noise()
+	if f, ok := e.cfg.SlowHosts[host]; ok && f > 0 {
+		dur /= f
+	}
+	computeStart := e.Clock.Now()
+
+	kind := trace.KindMap
+	switch {
+	case t.receiver:
+		kind = trace.KindReceive
+	case isReduce:
+		kind = trace.KindReduce
+	}
+
+	// Failure injection applies to shuffle-reading (reduce) tasks;
+	// speculative copies are fresh attempts and don't re-fail.
+	if isReduce && t.phase == t.ss.startPhase && !t.receiver && !t.speculative {
+		if spec, fail := e.shouldFail(t); fail {
+			at := dur * spec.AtFrac
+			e.Clock.After(at, func() {
+				e.trace(trace.Span{Kind: trace.KindFail, Host: host, Stage: st.ID, Part: t.part, Start: computeStart, End: e.Clock.Now(), Label: "failed attempt"})
+				release()
+				if t.attempt >= e.cfg.MaxAttempts {
+					e.failJob(t.ss.job, fmt.Errorf("exec: task %s exceeded %d attempts", t.name(), e.cfg.MaxAttempts))
+					return
+				}
+				e.submitTask(&taskRun{ss: t.ss, part: t.part, phase: t.ss.startPhase, attempt: t.attempt + 1})
+			})
+			return
+		}
+	}
+
+	e.Clock.After(dur, func() {
+		e.trace(trace.Span{Kind: kind, Host: host, Stage: st.ID, Part: t.part, Start: computeStart, End: e.Clock.Now()})
+		e.postPhase(t, host, out, bound, release, start)
+	})
+}
+
+// shouldFail decides whether this attempt fails, from scripted specs first,
+// then the random failure probability.
+func (e *Engine) shouldFail(t *taskRun) (FailureSpec, bool) {
+	for _, f := range e.cfg.ScriptedFailures {
+		attempt := f.Attempt
+		if attempt == 0 {
+			attempt = 1
+		}
+		if f.Stage == t.ss.st.Output.Name && f.Part == t.part && attempt == t.attempt {
+			return f, true
+		}
+	}
+	if e.cfg.ReduceFailureProb > 0 && t.attempt == 1 {
+		if e.failRNG.Float64() < e.cfg.ReduceFailureProb {
+			return FailureSpec{AtFrac: 0.5 + 0.5*e.failRNG.Float64()}, true
+		}
+	}
+	return FailureSpec{}, false
+}
+
+// postPhase hands the phase output onward: push to the next phase, register
+// shuffle output, or deliver results.
+func (e *Engine) postPhase(t *taskRun, host topology.HostID, out partData, bound map[int]partData, release func(), start float64) {
+	st := t.ss.st
+	phase := st.Phases[t.phase]
+	if phase.Transfer == nil {
+		// Final phase: first finisher (original or speculative) wins the
+		// partition; the loser discards its work.
+		if !e.claimPartDone(t.ss, t.part) {
+			release()
+			return
+		}
+	}
+	if phase.Transfer != nil {
+		e.markPhaseDone(t.ss, t.phase)
+		target := e.transferTarget(t.ss, phase.Transfer, t.part)
+		nextBound := map[int]partData{phase.TransferNode.ID: out}
+		if e.Topo.DCOf(host) == target {
+			// Already in the aggregator datacenter: transferTo is a no-op
+			// (Sec. IV-C2); continue the next phase inline.
+			next := &taskRun{ss: t.ss, phase: t.phase + 1, part: t.part, attempt: t.attempt, bound: nextBound}
+			e.computePhase(next, host, release, start)
+			return
+		}
+		// Hand off to a receiver task in the target DC; this task is done.
+		next := &taskRun{
+			ss: t.ss, phase: t.phase + 1, part: t.part, attempt: t.attempt,
+			receiver: true, speculative: t.speculative,
+			bound: nextBound, pushFrom: host, pushBytes: out.modeled,
+		}
+		handoff := func() { e.submitTask(next) }
+		if e.cfg.NoPipelining {
+			// Ablation: hold every push behind a phase barrier, the way a
+			// fetch-based shuffle would wait for all mappers.
+			e.holdHandoff(t.ss, t.phase, handoff)
+		} else {
+			handoff()
+		}
+		release()
+		return
+	}
+
+	// Final phase of the stage.
+	if st.OutSpec != nil {
+		e.reg.AddMapOutput(st.OutSpec.ID, t.part, host, out.records, out.modeled)
+		e.recoveryDone(st.OutSpec.ID, t.part)
+		e.Clock.After(out.modeled/e.cfg.DiskBps, func() {
+			release()
+			e.taskDone(t.ss)
+		})
+		return
+	}
+
+	// Result stage: deliver to the driver (or save locally and ack).
+	job := t.ss.job
+	var bytes, localWrite float64
+	switch job.action {
+	case ActionCollect:
+		job.resultRecords[t.part] = out.records
+		bytes = out.modeled
+	case ActionCount:
+		job.resultCounts[t.part] = len(out.records)
+		bytes = 64
+	case ActionSave:
+		job.resultRecords[t.part] = out.records
+		job.resultCounts[t.part] = len(out.records)
+		bytes = 64 // completion ack only; output lands on local storage
+		localWrite = out.modeled / e.cfg.DiskBps
+	default:
+		panic(fmt.Sprintf("exec: unknown action %d", job.action))
+	}
+	resStart := e.Clock.Now()
+	e.Clock.After(localWrite, func() {
+		e.Net.StartFlow(host, e.Topo.MasterHost, bytes, TagResult, func() {
+			e.trace(trace.Span{Kind: trace.KindResult, Host: host, Stage: st.ID, Part: t.part, Start: resStart, End: e.Clock.Now()})
+			release()
+			e.taskDone(t.ss)
+			job.resultsIn++
+			if job.resultsIn == st.NumTasks {
+				job.done = true
+				job.end = e.Clock.Now()
+			}
+		})
+	})
+}
+
+// markPhaseDone counts one completed task of a non-final phase and, under
+// NoPipelining, releases the held pushes once the phase barrier is
+// reached.
+func (e *Engine) markPhaseDone(ss *stageState, phase int) {
+	ss.phaseDone[phase]++
+	if !e.cfg.NoPipelining || ss.phaseDone[phase] < ss.st.NumTasks {
+		return
+	}
+	held := ss.heldHandoffs[phase]
+	ss.heldHandoffs[phase] = nil
+	for _, h := range held {
+		h()
+	}
+}
+
+func (e *Engine) holdHandoff(ss *stageState, phase int, handoff func()) {
+	if ss.phaseDone[phase] >= ss.st.NumTasks {
+		// Barrier already reached (this was the last task).
+		handoff()
+		return
+	}
+	ss.heldHandoffs[phase] = append(ss.heldHandoffs[phase], handoff)
+}
+
+// taskDone accounts a completed final-phase task and completes the stage
+// when all are in.
+func (e *Engine) taskDone(ss *stageState) {
+	ss.tasksDone++
+	if ss.tasksDone < ss.st.NumTasks {
+		return
+	}
+	if ss.completed {
+		// A post-failure recomputation refilled the stage; children are
+		// already running (or waiting on the recovered shuffle reads).
+		return
+	}
+	ss.completed = true
+	ss.specTimer.Cancel()
+	ss.span.End = e.Clock.Now()
+	if ss.st.OutSpec != nil {
+		e.reg.Finalize(ss.st.OutSpec.ID)
+	}
+	for _, other := range ss.job.stages {
+		for _, p := range other.st.Parents {
+			if p == ss.st {
+				other.pendingParents--
+				if other.pendingParents == 0 && !other.launched {
+					e.launchStage(other)
+				}
+			}
+		}
+	}
+}
+
+func (e *Engine) failJob(job *jobState, err error) {
+	job.err = err
+	job.done = true
+	job.end = e.Clock.Now()
+}

@@ -1,0 +1,391 @@
+// Package livecluster executes wanshuffle jobs on a real miniature
+// cluster: worker processes are goroutines, but every byte of shuffle data
+// moves over genuine TCP connections on the loopback interface. It is the
+// functional twin of the simulator — same record semantics, validated
+// against rdd.EvalLocal — demonstrating that the Push/Aggregate mechanism
+// is an executable system design, not only a model.
+//
+// Supported job shape: input partitions → narrow chain → one shuffle →
+// reduce-side aggregation (+ narrow post-chain), i.e. the classic
+// MapReduce skeleton of the paper's Figs. 1–3. Two shuffle modes mirror
+// the paper:
+//
+//   - ModeFetch: mappers store their output locally; reducers pull every
+//     shard over TCP after the map barrier (stock Spark).
+//   - ModePush: each mapper pushes its prepared output to a receiver on
+//     one of the aggregator workers as soon as it finishes (transferTo);
+//     reducers then read from the aggregators only.
+//
+// Closures execute in-process (tasks share the lineage graph), while data
+// crosses sockets gob-encoded; record values must therefore be
+// gob-encodable (string, int, float64, bool, []byte and slices thereof are
+// pre-registered).
+package livecluster
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+
+	"wanshuffle/internal/rdd"
+)
+
+// Mode selects the shuffle mechanism.
+type Mode int
+
+// Modes.
+const (
+	// ModeFetch is the stock fetch-based shuffle.
+	ModeFetch Mode = iota + 1
+	// ModePush is the paper's Push/Aggregate shuffle.
+	ModePush
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeFetch:
+		return "fetch"
+	case ModePush:
+		return "push"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config configures a live cluster.
+type Config struct {
+	// Workers is the worker count. Defaults to 4.
+	Workers int
+	// Mode defaults to ModeFetch.
+	Mode Mode
+	// Aggregators are worker indexes receiving pushes in ModePush.
+	// Defaults to {0}.
+	Aggregators []int
+	// TasksPerWorker bounds task concurrency per worker. Defaults to 2.
+	TasksPerWorker int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Mode == 0 {
+		c.Mode = ModeFetch
+	}
+	if len(c.Aggregators) == 0 {
+		c.Aggregators = []int{0}
+	}
+	if c.TasksPerWorker <= 0 {
+		c.TasksPerWorker = 2
+	}
+	return c
+}
+
+// Cluster is a running set of loopback workers. Close it when done.
+type Cluster struct {
+	cfg     Config
+	workers []*worker
+	specs   sync.Map // shuffleID → *rdd.ShuffleSpec (control plane metadata)
+}
+
+// Stats reports the data-plane activity of one job.
+type Stats struct {
+	// BytesOverTCP is the total payload moved across sockets.
+	BytesOverTCP int64
+	// PushConnections and FetchConnections count data-plane connections
+	// by purpose.
+	PushConnections  int64
+	FetchConnections int64
+	// ShardsByWorker counts map-output partitions stored per worker after
+	// the map phase — under ModePush everything lands on the aggregators.
+	ShardsByWorker []int
+}
+
+// New starts the workers, each listening on an ephemeral loopback port.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	for _, a := range cfg.Aggregators {
+		if a < 0 || a >= cfg.Workers {
+			return nil, fmt.Errorf("livecluster: aggregator %d out of range [0,%d)", a, cfg.Workers)
+		}
+	}
+	c := &Cluster{cfg: cfg}
+	for i := 0; i < cfg.Workers; i++ {
+		w, err := newWorker(i, c)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.workers = append(c.workers, w)
+	}
+	return c, nil
+}
+
+// Close shuts every worker down.
+func (c *Cluster) Close() {
+	for _, w := range c.workers {
+		if w != nil {
+			w.close()
+		}
+	}
+}
+
+// Addrs returns the workers' listen addresses.
+func (c *Cluster) Addrs() []string {
+	out := make([]string, len(c.workers))
+	for i, w := range c.workers {
+		out[i] = w.addr
+	}
+	return out
+}
+
+// Run executes the job materializing target and returns its output records
+// (concatenated in reduce-partition order) plus data-plane statistics.
+func (c *Cluster) Run(target *rdd.RDD) ([]rdd.Pair, *Stats, error) {
+	job, err := analyze(target)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{ShardsByWorker: make([]int, len(c.workers))}
+	c.specs.Store(job.spec.ID, job.spec)
+
+	// Map phase: one task per input partition, assigned round-robin,
+	// bounded per-worker concurrency.
+	numMaps := job.mapTop.NumParts()
+	var wg sync.WaitGroup
+	errs := make([]error, numMaps)
+	sems := make([]chan struct{}, len(c.workers))
+	for i := range sems {
+		sems[i] = make(chan struct{}, c.cfg.TasksPerWorker)
+	}
+	for part := 0; part < numMaps; part++ {
+		part := part
+		wid := part % len(c.workers)
+		wg.Add(1)
+		sems[wid] <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sems[wid] }()
+			errs[part] = c.runMapTask(job, part, wid, stats)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Reduce phase after the barrier.
+	numReduces := job.spec.Partitioner.NumPartitions()
+	results := make([][]rdd.Pair, numReduces)
+	rerrs := make([]error, numReduces)
+	var rwg sync.WaitGroup
+	for r := 0; r < numReduces; r++ {
+		r := r
+		wid := c.reduceWorker(r)
+		rwg.Add(1)
+		sems[wid] <- struct{}{}
+		go func() {
+			defer rwg.Done()
+			defer func() { <-sems[wid] }()
+			results[r], rerrs[r] = c.runReduceTask(job, r, numMaps, stats)
+		}()
+	}
+	rwg.Wait()
+	for _, err := range rerrs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	for i, w := range c.workers {
+		stats.ShardsByWorker[i] = w.storedOutputs()
+	}
+	var out []rdd.Pair
+	for _, part := range results {
+		out = append(out, part...)
+	}
+	return out, stats, nil
+}
+
+// reduceWorker places reducers: on aggregators in push mode (data
+// locality), round-robin otherwise.
+func (c *Cluster) reduceWorker(r int) int {
+	if c.cfg.Mode == ModePush {
+		return c.cfg.Aggregators[r%len(c.cfg.Aggregators)]
+	}
+	return r % len(c.workers)
+}
+
+// runMapTask computes one map partition on worker wid and stores or pushes
+// its prepared output.
+func (c *Cluster) runMapTask(job *jobShape, part, wid int, stats *Stats) error {
+	records := evalNarrow(job.mapTop, part)
+	prepared := rdd.MapSidePrepare(job.spec, records)
+	switch c.cfg.Mode {
+	case ModeFetch:
+		c.workers[wid].storeMapOutput(job.spec.ID, part, prepared)
+		return nil
+	case ModePush:
+		// transferTo: ship the whole prepared partition to a receiver in
+		// the aggregator set as soon as this mapper finishes.
+		dst := c.cfg.Aggregators[part%len(c.cfg.Aggregators)]
+		return c.workers[wid].push(c.workers[dst].addr, job.spec.ID, part, prepared, stats)
+	default:
+		return fmt.Errorf("livecluster: unknown mode %v", c.cfg.Mode)
+	}
+}
+
+// runReduceTask fetches one reducer's shards over TCP, aggregates, and
+// applies the post-shuffle chain.
+func (c *Cluster) runReduceTask(job *jobShape, r, numMaps int, stats *Stats) ([]rdd.Pair, error) {
+	var mu sync.Mutex
+	var gathered []rdd.Pair
+	var wg sync.WaitGroup
+	errs := make([]error, numMaps)
+	for m := 0; m < numMaps; m++ {
+		m := m
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			holder, err := c.findHolder(job.spec.ID, m)
+			if err != nil {
+				errs[m] = err
+				return
+			}
+			shard, err := fetchShard(holder, job.spec.ID, m, r, stats)
+			if err != nil {
+				errs[m] = err
+				return
+			}
+			mu.Lock()
+			gathered = append(gathered, shard...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	agg := rdd.ReduceAggregate(job.spec, gathered)
+	if job.shuffled.PostShuffle != nil {
+		agg = job.shuffled.PostShuffle(r, agg)
+	}
+	for _, node := range job.postChain {
+		agg = node.Narrow(r, agg)
+	}
+	return agg, nil
+}
+
+// findHolder locates the worker storing a map output partition.
+func (c *Cluster) findHolder(shuffleID, mapPart int) (string, error) {
+	for _, w := range c.workers {
+		if w.hasMapOutput(shuffleID, mapPart) {
+			return w.addr, nil
+		}
+	}
+	return "", fmt.Errorf("livecluster: no worker holds shuffle %d map %d", shuffleID, mapPart)
+}
+
+// jobShape is the analyzed MapReduce skeleton of a lineage.
+type jobShape struct {
+	mapTop    *rdd.RDD // last narrow RDD before the shuffle
+	spec      *rdd.ShuffleSpec
+	shuffled  *rdd.RDD   // the ShuffledRDD
+	postChain []*rdd.RDD // narrow nodes above the shuffle, bottom-up
+}
+
+// analyze validates that target is a single-shuffle job and splits it.
+func analyze(target *rdd.RDD) (*jobShape, error) {
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	var post []*rdd.RDD
+	n := target
+	for len(n.Deps) == 1 && n.Deps[0].Kind == rdd.DepNarrow {
+		if n.Transfer != nil {
+			return nil, errors.New("livecluster: transferTo lineage is expressed via Config.Mode, not the graph")
+		}
+		post = append([]*rdd.RDD{n}, post...)
+		n = n.Deps[0].Parent
+	}
+	if len(n.Deps) != 1 || n.Deps[0].Kind != rdd.DepShuffle {
+		return nil, errors.New("livecluster: job must contain exactly one shuffle (input → narrow* → shuffle → narrow*)")
+	}
+	spec := n.Deps[0].Shuffle
+	// The map side must be a pure narrow chain down to the inputs.
+	var check func(m *rdd.RDD) error
+	check = func(m *rdd.RDD) error {
+		if m.Transfer != nil {
+			return errors.New("livecluster: transferTo lineage is expressed via Config.Mode, not the graph")
+		}
+		for di := range m.Deps {
+			d := &m.Deps[di]
+			if d.Kind != rdd.DepNarrow {
+				return errors.New("livecluster: job must contain exactly one shuffle (input → narrow* → shuffle → narrow*)")
+			}
+			if err := check(d.Parent); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := check(n.Deps[0].Parent); err != nil {
+		return nil, err
+	}
+	if spec.SampleForRange && !spec.Partitioner.Ready() {
+		// Range partitioners need boundaries before mappers can bucket;
+		// sample the map-side output up front (Spark's sampling job).
+		prepareRange(n.Deps[0].Parent, spec)
+	}
+	return &jobShape{
+		mapTop:    n.Deps[0].Parent,
+		spec:      spec,
+		shuffled:  n,
+		postChain: post,
+	}, nil
+}
+
+func prepareRange(mapTop *rdd.RDD, spec *rdd.ShuffleSpec) {
+	var sample []string
+	for part := 0; part < mapTop.NumParts(); part++ {
+		records := evalNarrow(mapTop, part)
+		sample = append(sample, rdd.SampleKeys(records, 200)...)
+	}
+	spec.Partitioner.(*rdd.RangePartitioner).Prepare(sample)
+}
+
+// evalNarrow computes one partition of a narrow chain in memory.
+func evalNarrow(node *rdd.RDD, part int) []rdd.Pair {
+	if len(node.Deps) == 0 {
+		return node.Input[part].Records
+	}
+	var in []rdd.Pair
+	for di := range node.Deps {
+		d := &node.Deps[di]
+		for _, pi := range d.ParentParts(part) {
+			in = append(in, evalNarrow(d.Parent, pi)...)
+		}
+	}
+	return node.Narrow(part, in)
+}
+
+func registerGobTypes() {
+	gob.Register("")
+	gob.Register(0)
+	gob.Register(0.0)
+	gob.Register(false)
+	gob.Register([]byte(nil))
+	gob.Register([]rdd.Value{})
+	gob.Register([]string{})
+	gob.Register([]float64{})
+}
+
+var gobOnce sync.Once
+
+func ensureGob() { gobOnce.Do(registerGobTypes) }

@@ -1,0 +1,228 @@
+package livecluster
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"wanshuffle/internal/rdd"
+)
+
+// wire messages. One request per connection, gob-framed.
+
+type requestKind int
+
+const (
+	reqPush requestKind = iota + 1
+	reqFetch
+)
+
+type request struct {
+	Kind      requestKind
+	ShuffleID int
+	MapPart   int
+	Reduce    int
+	Records   []rdd.Pair
+}
+
+type response struct {
+	Err     string
+	Records []rdd.Pair
+}
+
+type outKey struct{ shuffle, mapPart int }
+
+// worker is one live cluster member: a loopback TCP server storing map
+// output, plus a client side for pushes and fetches.
+type worker struct {
+	id      int
+	addr    string
+	ln      net.Listener
+	cluster *Cluster
+
+	mu     sync.Mutex
+	mapOut map[outKey][]rdd.Pair
+
+	closed  atomic.Bool
+	serveWG sync.WaitGroup
+}
+
+func newWorker(id int, c *Cluster) (*worker, error) {
+	ensureGob()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("livecluster: worker %d listen: %w", id, err)
+	}
+	w := &worker{
+		id:      id,
+		addr:    ln.Addr().String(),
+		ln:      ln,
+		cluster: c,
+		mapOut:  make(map[outKey][]rdd.Pair),
+	}
+	w.serveWG.Add(1)
+	go w.serve()
+	return w, nil
+}
+
+func (w *worker) close() {
+	if w.closed.CompareAndSwap(false, true) {
+		_ = w.ln.Close()
+	}
+	w.serveWG.Wait()
+}
+
+func (w *worker) serve() {
+	defer w.serveWG.Done()
+	var connWG sync.WaitGroup
+	defer connWG.Wait()
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		connWG.Add(1)
+		go func() {
+			defer connWG.Done()
+			defer func() { _ = conn.Close() }()
+			w.handle(conn)
+		}()
+	}
+}
+
+func (w *worker) handle(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var req request
+	if err := dec.Decode(&req); err != nil {
+		return
+	}
+	var resp response
+	switch req.Kind {
+	case reqPush:
+		w.storeMapOutput(req.ShuffleID, req.MapPart, req.Records)
+	case reqFetch:
+		records, err := w.shard(req.ShuffleID, req.MapPart, req.Reduce)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Records = records
+		}
+	default:
+		resp.Err = fmt.Sprintf("unknown request kind %d", req.Kind)
+	}
+	_ = enc.Encode(&resp)
+}
+
+func (w *worker) storeMapOutput(shuffleID, mapPart int, records []rdd.Pair) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.mapOut[outKey{shuffleID, mapPart}] = records
+}
+
+func (w *worker) hasMapOutput(shuffleID, mapPart int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, ok := w.mapOut[outKey{shuffleID, mapPart}]
+	return ok
+}
+
+func (w *worker) storedOutputs() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.mapOut)
+}
+
+// shard buckets a stored map output for one reducer, using the shuffle
+// spec from the cluster's control plane.
+func (w *worker) shard(shuffleID, mapPart, reduce int) ([]rdd.Pair, error) {
+	w.mu.Lock()
+	records, ok := w.mapOut[outKey{shuffleID, mapPart}]
+	w.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("worker %d: no output for shuffle %d map %d", w.id, shuffleID, mapPart)
+	}
+	specAny, ok := w.cluster.specs.Load(shuffleID)
+	if !ok {
+		return nil, fmt.Errorf("worker %d: unknown shuffle %d", w.id, shuffleID)
+	}
+	spec := specAny.(*rdd.ShuffleSpec)
+	buckets := rdd.BucketRecords(spec, records)
+	if reduce < 0 || reduce >= len(buckets) {
+		return nil, fmt.Errorf("worker %d: reduce %d out of range", w.id, reduce)
+	}
+	return buckets[reduce], nil
+}
+
+// push ships a map output partition to a receiver worker over TCP.
+func (w *worker) push(addr string, shuffleID, mapPart int, records []rdd.Pair, stats *Stats) error {
+	resp, n, err := call(addr, request{
+		Kind: reqPush, ShuffleID: shuffleID, MapPart: mapPart, Records: records,
+	})
+	if err != nil {
+		return fmt.Errorf("livecluster: push %d/%d to %s: %w", shuffleID, mapPart, addr, err)
+	}
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	atomic.AddInt64(&stats.BytesOverTCP, n)
+	atomic.AddInt64(&stats.PushConnections, 1)
+	return nil
+}
+
+// fetchShard pulls one (map, reduce) shard from its holder over TCP.
+func fetchShard(addr string, shuffleID, mapPart, reduce int, stats *Stats) ([]rdd.Pair, error) {
+	resp, n, err := call(addr, request{
+		Kind: reqFetch, ShuffleID: shuffleID, MapPart: mapPart, Reduce: reduce,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("livecluster: fetch %d/%d/%d from %s: %w", shuffleID, mapPart, reduce, addr, err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	atomic.AddInt64(&stats.BytesOverTCP, n)
+	atomic.AddInt64(&stats.FetchConnections, 1)
+	return resp.Records, nil
+}
+
+// call performs one request/response exchange on a fresh connection and
+// reports the bytes that crossed the socket.
+func call(addr string, req request) (response, int64, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return response{}, 0, err
+	}
+	defer func() { _ = conn.Close() }()
+	cw := &countingConn{Conn: conn}
+	if err := gob.NewEncoder(cw).Encode(&req); err != nil {
+		return response{}, 0, err
+	}
+	var resp response
+	if err := gob.NewDecoder(cw).Decode(&resp); err != nil && err != io.EOF {
+		return response{}, 0, err
+	}
+	return resp, cw.bytes.Load(), nil
+}
+
+// countingConn counts payload bytes in both directions.
+type countingConn struct {
+	net.Conn
+	bytes atomic.Int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.bytes.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.bytes.Add(int64(n))
+	return n, err
+}

@@ -1,0 +1,479 @@
+package simnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wanshuffle/internal/sim"
+	"wanshuffle/internal/topology"
+)
+
+const (
+	mb = 1e6 // bytes
+)
+
+func micro() *topology.Topology { return topology.TwoDCMicro(2, 0.25) }
+
+func newNet(t *testing.T, top *topology.Topology, cfg Config) (*sim.Clock, *Network) {
+	t.Helper()
+	clock := sim.NewClock()
+	return clock, New(clock, top, 1, cfg)
+}
+
+func TestSingleIntraDCFlowRate(t *testing.T) {
+	top := micro()
+	clock, net := newNet(t, top, Config{})
+	// hosts 0 and 1 are both in dc-a.
+	var doneAt float64
+	net.StartFlow(0, 1, 125*mb, "t", func() { doneAt = clock.Now() })
+	clock.Run(0)
+	// 1 Gbps NIC = 125 MB/s, so 125 MB takes 1 s + 0.5 ms latency.
+	want := 1 + 0.5*topology.Millisecond
+	if math.Abs(doneAt-want) > 1e-9 {
+		t.Fatalf("intra-DC flow done at %v, want %v", doneAt, want)
+	}
+}
+
+func TestSingleCrossDCFlowBottleneck(t *testing.T) {
+	top := micro() // inter-DC 250 Mbps = 31.25 MB/s
+	clock, net := newNet(t, top, Config{})
+	var doneAt float64
+	net.StartFlow(0, 2, 31.25*mb, "t", func() { doneAt = clock.Now() })
+	clock.Run(0)
+	want := 1 + 40*topology.Millisecond
+	if math.Abs(doneAt-want) > 1e-9 {
+		t.Fatalf("cross-DC flow done at %v, want %v", doneAt, want)
+	}
+}
+
+func TestTwoFlowsShareHostWANUplink(t *testing.T) {
+	top := micro()
+	// Pin the host WAN share to the path capacity and disable burst
+	// degradation so the arithmetic is exact.
+	clock, net := newNet(t, top, Config{HostWANBps: 250e6, BurstPenalty: -1})
+	var done []float64
+	record := func() { done = append(done, clock.Now()) }
+	// Two flows from the same source host to different remote hosts:
+	// independent WAN paths, but they share host 0's WAN uplink.
+	net.StartFlow(0, 2, 31.25*mb, "t", record)
+	net.StartFlow(0, 3, 31.25*mb, "t", record)
+	clock.Run(0)
+	// Each gets half of 31.25 MB/s, so 2 s + latency.
+	want := 2 + 40*topology.Millisecond
+	for _, d := range done {
+		if math.Abs(d-want) > 1e-9 {
+			t.Fatalf("shared flows done at %v, want %v", done, want)
+		}
+	}
+}
+
+func TestDisjointHostPairsDoNotShare(t *testing.T) {
+	top := micro()
+	clock, net := newNet(t, top, Config{})
+	var done []float64
+	record := func() { done = append(done, clock.Now()) }
+	// Different sources and destinations: per instance-pair WAN paths are
+	// independent (the paper measured 80-300 Mbps per instance pair).
+	net.StartFlow(0, 2, 31.25*mb, "t", record)
+	net.StartFlow(1, 3, 31.25*mb, "t", record)
+	clock.Run(0)
+	want := 1 + 40*topology.Millisecond
+	for _, d := range done {
+		if math.Abs(d-want) > 1e-9 {
+			t.Fatalf("disjoint flows done at %v, want %v (no sharing)", done, want)
+		}
+	}
+}
+
+func TestEarlyFinisherSpeedsUpRemaining(t *testing.T) {
+	top := micro()
+	clock, net := newNet(t, top, Config{HostWANBps: 250e6, BurstPenalty: -1})
+	var shortDone, longDone float64
+	net.StartFlow(0, 2, 15.625*mb, "t", func() { shortDone = clock.Now() })
+	net.StartFlow(0, 3, 31.25*mb, "t", func() { longDone = clock.Now() })
+	clock.Run(0)
+	// Share host 0's uplink at 15.625 MB/s each; short finishes at ~1 s;
+	// long has 15.625 MB left, then runs at the full path rate: +0.5 s.
+	if math.Abs(shortDone-(1+0.04)) > 1e-6 {
+		t.Fatalf("short done at %v, want ~1.04", shortDone)
+	}
+	if math.Abs(longDone-(1.5+0.04)) > 1e-6 {
+		t.Fatalf("long done at %v, want ~1.54", longDone)
+	}
+}
+
+// TestBurstDegradation checks the WAN incast model: n concurrent flows on
+// one host WAN link see effective capacity cap/(1+β(n-1)).
+func TestBurstDegradation(t *testing.T) {
+	top := micro()
+	beta := 0.5
+	clock, net := newNet(t, top, Config{HostWANBps: 250e6, BurstPenalty: beta})
+	var done []float64
+	record := func() { done = append(done, clock.Now()) }
+	// Two concurrent flows into host 2: share its WAN downlink, degraded
+	// to 250/(1+0.5) Mbps = 20.83 MB/s total, 10.42 MB/s each.
+	net.StartFlow(0, 2, 31.25*mb, "t", record)
+	net.StartFlow(1, 2, 31.25*mb, "t", record)
+	clock.Run(0)
+	want := 3 + 40*topology.Millisecond // 31.25 MB at 10.42 MB/s
+	for _, d := range done {
+		if math.Abs(d-want) > 1e-6 {
+			t.Fatalf("burst-degraded flows done at %v, want %v", done, want)
+		}
+	}
+	// A single flow must see no degradation.
+	clock2 := sim.NewClock()
+	net2 := New(clock2, top, 1, Config{HostWANBps: 250e6, BurstPenalty: beta})
+	var single float64
+	net2.StartFlow(0, 2, 31.25*mb, "t", func() { single = clock2.Now() })
+	clock2.Run(0)
+	if math.Abs(single-(1+0.04)) > 1e-9 {
+		t.Fatalf("single flow degraded: done at %v", single)
+	}
+}
+
+func TestNICBottleneckIntraDC(t *testing.T) {
+	// Two flows into the same destination host share its ingress NIC.
+	top := micro()
+	clock, net := newNet(t, top, Config{})
+	var done []float64
+	record := func() { done = append(done, clock.Now()) }
+	net.StartFlow(0, 1, 125*mb, "t", record)
+	// host 0 -> host 1 and host 1's NIC also receives from nothing else
+	// intra... use two sources: 0->1 only has NIC up 0 and down 1. Add a
+	// second flow from the other dc-a host? dc-a has hosts 0,1 only; use
+	// self-flow? Use 0->1 twice.
+	net.StartFlow(0, 1, 125*mb, "t", record)
+	clock.Run(0)
+	// Both share host 0 egress NIC (125 MB/s): 2 s each.
+	want := 2 + 0.5*topology.Millisecond
+	for _, d := range done {
+		if math.Abs(d-want) > 1e-9 {
+			t.Fatalf("NIC-shared flows done at %v, want %v", done, want)
+		}
+	}
+}
+
+func TestSameHostLoopback(t *testing.T) {
+	top := micro()
+	clock, net := newNet(t, top, Config{LoopbackBps: 8 * 1e9}) // 1 GB/s
+	var doneAt float64
+	net.StartFlow(0, 0, 1000*mb, "t", func() { doneAt = clock.Now() })
+	clock.Run(0)
+	want := 1 + 0.5*topology.Millisecond
+	if math.Abs(doneAt-want) > 1e-9 {
+		t.Fatalf("loopback flow done at %v, want %v", doneAt, want)
+	}
+	if got := net.CrossDCBytes(); got != 0 {
+		t.Fatalf("loopback counted as cross-DC: %v", got)
+	}
+}
+
+func TestZeroByteFlowCompletesAfterLatency(t *testing.T) {
+	top := micro()
+	clock, net := newNet(t, top, Config{})
+	var doneAt float64
+	net.StartFlow(0, 2, 0, "t", func() { doneAt = clock.Now() })
+	clock.Run(0)
+	if math.Abs(doneAt-40*topology.Millisecond) > 1e-9 {
+		t.Fatalf("zero-byte flow done at %v, want latency 0.04", doneAt)
+	}
+}
+
+func TestCancelMidFlight(t *testing.T) {
+	top := micro()
+	clock, net := newNet(t, top, Config{})
+	fired := false
+	f := net.StartFlow(0, 2, 31.25*mb, "t", func() { fired = true })
+	clock.At(0.54, func() { net.Cancel(f) }) // half a second of transfer
+	clock.Run(0)
+	if fired {
+		t.Fatal("cancelled flow fired completion")
+	}
+	if f.Done() {
+		t.Fatal("cancelled flow reports Done")
+	}
+	got := net.CrossDCBytes()
+	want := 0.5 * 31.25 * mb // 0.5 s of transfer at 31.25 MB/s
+	if math.Abs(got-want) > mb {
+		t.Fatalf("partial bytes = %v, want ~%v", got, want)
+	}
+}
+
+func TestCancelBeforeActivation(t *testing.T) {
+	top := micro()
+	clock, net := newNet(t, top, Config{})
+	f := net.StartFlow(0, 2, mb, "t", func() { t.Error("completion fired") })
+	net.Cancel(f)
+	clock.Run(0)
+	if net.CrossDCBytes() != 0 {
+		t.Fatal("cancelled-before-activation flow moved bytes")
+	}
+}
+
+func TestCrossDCAccounting(t *testing.T) {
+	top := micro()
+	clock, net := newNet(t, top, Config{})
+	net.StartFlow(0, 2, 10*mb, "shuffle", nil)
+	net.StartFlow(1, 3, 5*mb, "push", nil)
+	net.StartFlow(0, 1, 50*mb, "local", nil)
+	clock.Run(0)
+	if got := net.CrossDCBytes(); math.Abs(got-15*mb) > 1 {
+		t.Fatalf("CrossDCBytes = %v, want 15 MB", got)
+	}
+	byTag := net.CrossDCBytesByTag()
+	if math.Abs(byTag["shuffle"]-10*mb) > 1 || math.Abs(byTag["push"]-5*mb) > 1 {
+		t.Fatalf("byTag = %v", byTag)
+	}
+	if _, ok := byTag["local"]; ok {
+		t.Fatal("intra-DC traffic counted in cross-DC tags")
+	}
+	if got := net.PairBytes(0, 1); math.Abs(got-15*mb) > 1 {
+		t.Fatalf("PairBytes(0,1) = %v, want 15 MB", got)
+	}
+	if got := net.PairBytes(1, 0); got != 0 {
+		t.Fatalf("PairBytes(1,0) = %v, want 0", got)
+	}
+	if got := net.TotalBytes(); math.Abs(got-65*mb) > 1 {
+		t.Fatalf("TotalBytes = %v, want 65 MB", got)
+	}
+	if got := net.CompletedFlows(); got != 3 {
+		t.Fatalf("CompletedFlows = %d, want 3", got)
+	}
+}
+
+func TestJitterStaysBoundedAndDeterministic(t *testing.T) {
+	top := topology.SixRegionEC2()
+	run := func(seed int64) []float64 {
+		clock := sim.NewClock()
+		net := New(clock, top, seed, Config{JitterAmplitude: 0.3})
+		// Jitter only runs while the network is busy; keep one long flow
+		// active throughout the sampling window.
+		net.StartFlow(top.DCs[0].Hosts[0], top.DCs[1].Hosts[0], 1e11, "bg", nil)
+		var caps []float64
+		for i := 0; i < 50; i++ {
+			i := i
+			clock.At(float64(i)*5+2.5, func() {
+				caps = append(caps, net.WANCapBps(0, 1), net.WANCapBps(3, 4))
+			})
+		}
+		clock.RunUntil(260)
+		return caps
+	}
+	a := run(7)
+	b := run(7)
+	c := run(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different jitter trajectories")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter")
+	}
+	base01 := top.InterBps(0, 1)
+	for i := 0; i < len(a); i += 2 {
+		f := a[i] / base01
+		if f < 0.4-1e-9 || f > 1.6+1e-9 {
+			t.Fatalf("jitter factor %v outside [0.4, 1.6] for amplitude 0.3", f)
+		}
+	}
+}
+
+func TestJitterChangesFlowCompletion(t *testing.T) {
+	top := topology.SixRegionEC2()
+	runJCT := func(amp float64, seed int64) float64 {
+		clock := sim.NewClock()
+		net := New(clock, top, seed, Config{JitterAmplitude: amp})
+		var doneAt float64
+		net.StartFlow(top.DCs[0].Hosts[0], top.DCs[4].Hosts[0], 500*mb, "t", func() { doneAt = clock.Now() })
+		clock.Run(0)
+		return doneAt
+	}
+	still := runJCT(0, 1)
+	if runJCT(0, 2) != still {
+		t.Fatal("jitter-free run not seed-independent")
+	}
+	diff := false
+	for seed := int64(1); seed <= 5; seed++ {
+		if math.Abs(runJCT(0.3, seed)-still) > 0.01 {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("jitter had no effect on completion time across 5 seeds")
+	}
+}
+
+func TestInvalidFlowSizePanics(t *testing.T) {
+	top := micro()
+	_, net := newNet(t, top, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative size")
+		}
+	}()
+	net.StartFlow(0, 1, -1, "t", nil)
+}
+
+// Property test: for random flow sets, the allocation must satisfy the
+// max-min fairness feasibility invariants: no negative rates, no link over
+// capacity, and every flow bottlenecked by at least one saturated link.
+func TestQuickMaxMinInvariants(t *testing.T) {
+	top := topology.SixRegionEC2()
+	f := func(seed int64, nRaw uint8) bool {
+		nFlows := int(nRaw%30) + 2
+		clock := sim.NewClock()
+		net := New(clock, top, seed, Config{})
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < nFlows; i++ {
+			src := topology.HostID(rng.Intn(top.NumHosts()))
+			dst := topology.HostID(rng.Intn(top.NumHosts()))
+			net.StartFlow(src, dst, 1e12, "t", nil) // effectively infinite
+		}
+		// Let all flows activate (max latency < 0.2 s).
+		clock.RunUntil(0.5)
+
+		// Collect per-link usage.
+		usage := map[*link]float64{}
+		for _, fl := range net.flows {
+			if fl.rate < -1e-9 {
+				return false
+			}
+			for _, l := range fl.path {
+				usage[l] += fl.rate
+			}
+		}
+		for l, u := range usage {
+			if u > l.effCapBytes()*(1+1e-9) {
+				t.Logf("link %s over capacity: %v > %v", l.name, u, l.effCapBytes())
+				return false
+			}
+		}
+		// Bottleneck property: every flow crosses >= 1 saturated link.
+		for _, fl := range net.flows {
+			saturated := false
+			for _, l := range fl.path {
+				if usage[l] >= l.effCapBytes()*(1-1e-6) {
+					saturated = true
+					break
+				}
+			}
+			if !saturated {
+				t.Logf("flow %d->%d rate %v has no saturated link", fl.Src, fl.Dst, fl.rate)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property test: byte conservation — the sum of per-tag cross-DC counters
+// equals the total cross-DC counter, and completed flows deliver exactly
+// their size.
+func TestQuickByteConservation(t *testing.T) {
+	top := topology.SixRegionEC2()
+	f := func(seed int64, nRaw uint8) bool {
+		nFlows := int(nRaw%20) + 1
+		clock := sim.NewClock()
+		net := New(clock, top, seed, Config{JitterAmplitude: 0.2})
+		rng := rand.New(rand.NewSource(seed))
+		var wantCross, wantTotal float64
+		for i := 0; i < nFlows; i++ {
+			src := topology.HostID(rng.Intn(top.NumHosts()))
+			dst := topology.HostID(rng.Intn(top.NumHosts()))
+			size := float64(rng.Intn(50)+1) * mb
+			tag := []string{"a", "b", "c"}[rng.Intn(3)]
+			net.StartFlow(src, dst, size, tag, nil)
+			wantTotal += size
+			if top.DCOf(src) != top.DCOf(dst) {
+				wantCross += size
+			}
+		}
+		clock.Run(0)
+		var sumTags float64
+		for _, v := range net.CrossDCBytesByTag() {
+			sumTags += v
+		}
+		tol := 1.0 // bytes
+		return math.Abs(net.CrossDCBytes()-wantCross) < tol &&
+			math.Abs(sumTags-wantCross) < tol &&
+			math.Abs(net.TotalBytes()-wantTotal) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUtilTimelineIntegratesToCrossBytes(t *testing.T) {
+	top := micro()
+	clock, net := newNet(t, top, Config{})
+	net.StartFlow(0, 2, 20*mb, "t", nil)
+	clock.At(3, func() { net.StartFlow(1, 3, 10*mb, "t", nil) })
+	clock.Run(0)
+	points := net.UtilTimeline()
+	if len(points) < 2 {
+		t.Fatalf("timeline has %d points", len(points))
+	}
+	got := CrossBytesBetween(points, 0, clock.Now()+1)
+	if math.Abs(got-30*mb) > mb/100 {
+		t.Fatalf("integrated %v bytes, want 30 MB", got)
+	}
+	// Windowed integration: nothing before the first activation latency.
+	if b := CrossBytesBetween(points, 0, 0.01); b != 0 {
+		t.Fatalf("bytes before activation = %v", b)
+	}
+	// Rates never negative, times non-decreasing.
+	for i, p := range points {
+		if p.CrossRate < 0 {
+			t.Fatalf("negative rate at %d", i)
+		}
+		if i > 0 && p.T < points[i-1].T {
+			t.Fatalf("timeline not monotone at %d", i)
+		}
+	}
+}
+
+func TestUtilTimelineIgnoresIntraDC(t *testing.T) {
+	top := micro()
+	clock, net := newNet(t, top, Config{})
+	net.StartFlow(0, 1, 50*mb, "t", nil)
+	clock.Run(0)
+	if got := CrossBytesBetween(net.UtilTimeline(), 0, clock.Now()+1); got != 0 {
+		t.Fatalf("intra-DC flow counted in WAN utilization: %v", got)
+	}
+}
+
+func TestDeterministicEndToEnd(t *testing.T) {
+	top := topology.SixRegionEC2()
+	run := func() (float64, float64) {
+		clock := sim.NewClock()
+		net := New(clock, top, 42, Config{JitterAmplitude: 0.3})
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 40; i++ {
+			src := topology.HostID(rng.Intn(top.NumHosts()))
+			dst := topology.HostID(rng.Intn(top.NumHosts()))
+			net.StartFlow(src, dst, float64(rng.Intn(100)+1)*mb, "t", nil)
+		}
+		clock.Run(0)
+		return clock.Now(), net.CrossDCBytes()
+	}
+	t1, b1 := run()
+	t2, b2 := run()
+	if t1 != t2 || b1 != b2 {
+		t.Fatalf("non-deterministic: (%v,%v) vs (%v,%v)", t1, b1, t2, b2)
+	}
+}

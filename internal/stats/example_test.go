@@ -1,0 +1,19 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"wanshuffle/internal/stats"
+)
+
+// ExampleSummarize shows the paper's Fig. 7 reporting statistics for ten
+// job completion times: the 10% trimmed mean drops the best and worst run.
+func ExampleSummarize() {
+	jcts := []float64{52, 55, 49, 61, 53, 57, 50, 54, 120, 41}
+	s := stats.Summarize(jcts)
+	fmt.Printf("trimmed mean %.1f\n", s.TrimmedMean)
+	fmt.Printf("median %.1f, IQR [%.1f, %.1f]\n", s.Median, s.Q1, s.Q3)
+	// Output:
+	// trimmed mean 53.9
+	// median 53.5, IQR [50.5, 56.5]
+}

@@ -1,0 +1,105 @@
+package topology
+
+// Bandwidth and time units used throughout wanshuffle.
+const (
+	Kbps = 1e3
+	Mbps = 1e6
+	Gbps = 1e9
+
+	Millisecond = 1e-3
+)
+
+// Region names of the six EC2 regions used in the paper's evaluation
+// (Fig. 6). They are also the DC names in SixRegionEC2.
+const (
+	Virginia   = "us-east-1"      // N. Virginia — 4 workers + master + namenode
+	California = "us-west-1"      // N. California
+	SaoPaulo   = "sa-east-1"      // São Paulo
+	Frankfurt  = "eu-central-1"   // Frankfurt
+	Singapore  = "ap-southeast-1" // Singapore
+	Sydney     = "ap-southeast-2" // Sydney
+)
+
+// SixRegionEC2 reproduces the paper's evaluation cluster: six EC2 regions
+// with four m3.large workers each (2 vCPUs), ~1 Gbps intra-region host
+// bandwidth, and time-varying inter-region capacity between 80 and 300 Mbps
+// (Sec. V-A). The master/driver (and HDFS namenode) sit in N. Virginia.
+//
+// The base inter-region capacities below follow the rough
+// geographic-distance ordering reported by the paper's own measurements and
+// the studies it cites (Flutter [8], Bellini [11]): transcontinental and
+// transatlantic paths near the top of the 80–300 Mbps band, antipodal paths
+// near the bottom. The simnet jitter process modulates them at runtime.
+func SixRegionEC2() *Topology {
+	b := NewBuilder()
+	va := b.AddDC(Virginia, 4, 2, 1*Gbps)
+	ca := b.AddDC(California, 4, 2, 1*Gbps)
+	sp := b.AddDC(SaoPaulo, 4, 2, 1*Gbps)
+	fr := b.AddDC(Frankfurt, 4, 2, 1*Gbps)
+	sg := b.AddDC(Singapore, 4, 2, 1*Gbps)
+	sy := b.AddDC(Sydney, 4, 2, 1*Gbps)
+
+	type link struct {
+		a, b DCID
+		bps  float64
+		ms   float64
+	}
+	links := []link{
+		{va, ca, 280 * Mbps, 32},
+		{va, sp, 180 * Mbps, 60},
+		{va, fr, 240 * Mbps, 45},
+		{va, sg, 120 * Mbps, 110},
+		{va, sy, 110 * Mbps, 100},
+		{ca, sp, 130 * Mbps, 96},
+		{ca, fr, 160 * Mbps, 73},
+		{ca, sg, 150 * Mbps, 88},
+		{ca, sy, 160 * Mbps, 74},
+		{sp, fr, 120 * Mbps, 110},
+		{sp, sg, 80 * Mbps, 180},
+		{sp, sy, 85 * Mbps, 160},
+		{fr, sg, 110 * Mbps, 117},
+		{fr, sy, 80 * Mbps, 150},
+		{sg, sy, 170 * Mbps, 46},
+	}
+	for _, l := range links {
+		b.Link(l.a, l.b, l.bps, l.ms*Millisecond)
+	}
+	// Two dedicated instances in N. Virginia: Spark master and HDFS
+	// namenode (Fig. 6: "two extra special nodes deployed").
+	b.AddAux("master", va, 1*Gbps)
+	b.AddAux("namenode", va, 1*Gbps)
+	b.IntraLatency(0.5 * Millisecond)
+	b.Driver(va)
+	t, err := b.Build()
+	if err != nil {
+		// The preset is a compile-time constant; failure to build it is a
+		// programming error, not a runtime condition.
+		panic(err)
+	}
+	return t
+}
+
+// TwoDCMicro builds the two-datacenter micro-topology used by the paper's
+// motivating examples (Figs. 1 and 2): one DC holding the mappers, one
+// holding the reducers, with the inter-DC path at ratio (default ¼) of the
+// intra-DC host bandwidth.
+func TwoDCMicro(hostsPerDC int, interRatio float64) *Topology {
+	if hostsPerDC <= 0 {
+		hostsPerDC = 2
+	}
+	if interRatio <= 0 || interRatio > 1 {
+		interRatio = 0.25
+	}
+	const nic = 1 * Gbps
+	b := NewBuilder()
+	a := b.AddDC("dc-a", hostsPerDC, 2, nic)
+	c := b.AddDC("dc-b", hostsPerDC, 2, nic)
+	b.Link(a, c, interRatio*nic, 40*Millisecond)
+	b.IntraLatency(0.5 * Millisecond)
+	b.Driver(c)
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

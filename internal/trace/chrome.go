@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wanshuffle/internal/topology"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" complete
+// events), loadable in chrome://tracing or Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the recorded spans as a Chrome trace: one
+// process per datacenter, one thread per host, one complete event per
+// span. Virtual seconds map to trace microseconds.
+func (r *Recorder) WriteChromeTrace(w io.Writer, topo *topology.Topology) error {
+	spans := r.Spans()
+	events := make([]chromeEvent, 0, len(spans)+topo.NumHosts())
+	// Name the processes (datacenters) and threads (hosts).
+	for _, dc := range topo.DCs {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: int(dc.ID),
+			Args: map[string]any{"name": dc.Name},
+		})
+	}
+	for _, h := range topo.Hosts {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: int(h.DC), TID: int(h.ID),
+			Args: map[string]any{"name": h.Name},
+		})
+	}
+	for _, s := range spans {
+		host := topo.Host(s.Host)
+		name := string(s.Kind)
+		if s.Label != "" {
+			name = fmt.Sprintf("%s (%s)", s.Kind, s.Label)
+		}
+		events = append(events, chromeEvent{
+			Name: name,
+			Cat:  string(s.Kind),
+			Ph:   "X",
+			TS:   s.Start * 1e6,
+			Dur:  (s.End - s.Start) * 1e6,
+			PID:  int(host.DC),
+			TID:  int(s.Host),
+			Args: map[string]any{"stage": s.Stage, "part": s.Part},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events, "displayTimeUnit": "ms"})
+}

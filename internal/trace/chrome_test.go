@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wanshuffle/internal/topology"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	topo := topology.TwoDCMicro(2, 0.25)
+	r := &Recorder{}
+	r.Add(Span{Kind: KindMap, Host: 0, Stage: 1, Part: 2, Start: 0.5, End: 2.5})
+	r.Add(Span{Kind: KindPush, Host: 1, Start: 2.5, End: 4, Label: "to dc-b"})
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf, topo); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 2 DC names + 4 host names + 2 spans.
+	if len(doc.TraceEvents) != 2+4+2 {
+		t.Fatalf("events = %d, want 8", len(doc.TraceEvents))
+	}
+	var sawMap, sawPush bool
+	for _, ev := range doc.TraceEvents {
+		switch ev["cat"] {
+		case "map":
+			sawMap = true
+			if ev["ts"].(float64) != 0.5e6 || ev["dur"].(float64) != 2e6 {
+				t.Fatalf("map timing wrong: %v", ev)
+			}
+		case "push":
+			sawPush = true
+			if !strings.Contains(ev["name"].(string), "to dc-b") {
+				t.Fatalf("label lost: %v", ev)
+			}
+		}
+	}
+	if !sawMap || !sawPush {
+		t.Fatal("span events missing")
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	topo := topology.TwoDCMicro(2, 0.25)
+	var buf bytes.Buffer
+	if err := (&Recorder{}).WriteChromeTrace(&buf, topo); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Fatal("no document written")
+	}
+}

@@ -1,0 +1,168 @@
+// Package trace records task and transfer spans on the virtual timeline
+// and renders them as ASCII Gantt charts, reproducing the style of the
+// paper's Figs. 1 and 2 (per-worker rows of map / transfer / shuffle-read /
+// reduce activity).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wanshuffle/internal/topology"
+)
+
+// Kind classifies a span.
+type Kind string
+
+// Span kinds. The rune after the colon is used in Gantt rendering.
+const (
+	KindMap     Kind = "map"     // M
+	KindReduce  Kind = "reduce"  // R
+	KindPush    Kind = "push"    // P: transferTo flow
+	KindReceive Kind = "receive" // V: receiver task occupancy
+	KindFetch   Kind = "fetch"   // F: shuffle read
+	KindInput   Kind = "input"   // I: reading/moving job input
+	KindResult  Kind = "result"  // C: result collection
+	KindFail    Kind = "fail"    // X: failed attempt
+)
+
+func (k Kind) glyph() byte {
+	switch k {
+	case KindMap:
+		return 'M'
+	case KindReduce:
+		return 'R'
+	case KindPush:
+		return 'P'
+	case KindReceive:
+		return 'V'
+	case KindFetch:
+		return 'F'
+	case KindInput:
+		return 'I'
+	case KindResult:
+		return 'C'
+	case KindFail:
+		return 'X'
+	default:
+		return '?'
+	}
+}
+
+// Span is one timed activity on a host.
+type Span struct {
+	Kind  Kind
+	Host  topology.HostID
+	Stage int
+	Part  int
+	Label string
+	Start float64
+	End   float64
+}
+
+// Recorder accumulates spans. The zero value is ready to use; a nil
+// *Recorder discards everything, so callers need no enabled checks.
+type Recorder struct {
+	spans []Span
+}
+
+// Add records a span.
+func (r *Recorder) Add(s Span) {
+	if r == nil {
+		return
+	}
+	if s.End < s.Start {
+		panic(fmt.Sprintf("trace: span ends (%v) before it starts (%v)", s.End, s.Start))
+	}
+	r.spans = append(r.spans, s)
+}
+
+// Spans returns all recorded spans sorted by start time (stable).
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// ByKind returns recorded spans of one kind, sorted by start time.
+func (r *Recorder) ByKind(k Kind) []Span {
+	var out []Span
+	for _, s := range r.Spans() {
+		if s.Kind == k {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Gantt renders the spans as an ASCII chart with one row per host that has
+// activity, width characters wide. Overlapping spans on a host merge
+// left-to-right (later kinds overwrite earlier within the overlap), which
+// is enough to read stage structure at a glance:
+//
+//	w0 |MMMMMMPPPPPP......RRRR|
+//	w1 |MMMMMMMMMMPPPP....RRRR|
+func (r *Recorder) Gantt(topo *topology.Topology, width int) string {
+	spans := r.Spans()
+	if len(spans) == 0 {
+		return "(no spans)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	var tMax float64
+	hosts := map[topology.HostID]bool{}
+	for _, s := range spans {
+		if s.End > tMax {
+			tMax = s.End
+		}
+		hosts[s.Host] = true
+	}
+	if tMax <= 0 {
+		tMax = 1
+	}
+	ids := make([]topology.HostID, 0, len(hosts))
+	for h := range hosts {
+		ids = append(ids, h)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	scale := float64(width) / tMax
+	rows := map[topology.HostID][]byte{}
+	for _, h := range ids {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		rows[h] = row
+	}
+	for _, s := range spans {
+		row := rows[s.Host]
+		from := int(s.Start * scale)
+		to := int(s.End * scale)
+		if to >= width {
+			to = width - 1
+		}
+		for i := from; i <= to && i < width; i++ {
+			row[i] = s.Kind.glyph()
+		}
+	}
+	var b strings.Builder
+	nameWidth := 0
+	for _, h := range ids {
+		if n := len(topo.Host(h).Name); n > nameWidth {
+			nameWidth = n
+		}
+	}
+	fmt.Fprintf(&b, "%*s  0%s%.1fs\n", nameWidth, "t:", strings.Repeat(" ", width-len(fmt.Sprintf("%.1fs", tMax))), tMax)
+	for _, h := range ids {
+		fmt.Fprintf(&b, "%*s |%s|\n", nameWidth, topo.Host(h).Name, rows[h])
+	}
+	b.WriteString("legend: M=map P=push V=receive F=fetch R=reduce I=input C=collect X=failed\n")
+	return b.String()
+}

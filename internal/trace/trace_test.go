@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"wanshuffle/internal/topology"
+)
+
+func TestNilRecorderDiscards(t *testing.T) {
+	var r *Recorder
+	r.Add(Span{Kind: KindMap, Start: 0, End: 1}) // must not panic
+	if got := r.Spans(); got != nil {
+		t.Fatalf("nil recorder returned spans: %v", got)
+	}
+}
+
+func TestSpansSortedByStart(t *testing.T) {
+	r := &Recorder{}
+	r.Add(Span{Kind: KindReduce, Start: 5, End: 6})
+	r.Add(Span{Kind: KindMap, Start: 1, End: 2})
+	r.Add(Span{Kind: KindPush, Start: 3, End: 4})
+	spans := r.Spans()
+	if len(spans) != 3 || spans[0].Kind != KindMap || spans[2].Kind != KindReduce {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestByKindFilters(t *testing.T) {
+	r := &Recorder{}
+	r.Add(Span{Kind: KindMap, Start: 0, End: 1})
+	r.Add(Span{Kind: KindPush, Start: 1, End: 2})
+	r.Add(Span{Kind: KindMap, Start: 2, End: 3})
+	if got := len(r.ByKind(KindMap)); got != 2 {
+		t.Fatalf("ByKind(map) = %d, want 2", got)
+	}
+	if got := len(r.ByKind(KindFail)); got != 0 {
+		t.Fatalf("ByKind(fail) = %d, want 0", got)
+	}
+}
+
+func TestBackwardsSpanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Recorder{}).Add(Span{Start: 2, End: 1})
+}
+
+func TestGanttRendering(t *testing.T) {
+	topo := topology.TwoDCMicro(2, 0.25)
+	r := &Recorder{}
+	r.Add(Span{Kind: KindMap, Host: 0, Start: 0, End: 5})
+	r.Add(Span{Kind: KindPush, Host: 0, Start: 5, End: 8})
+	r.Add(Span{Kind: KindReduce, Host: 2, Start: 8, End: 10})
+	g := r.Gantt(topo, 40)
+	if !strings.Contains(g, "M") || !strings.Contains(g, "P") || !strings.Contains(g, "R") {
+		t.Fatalf("gantt missing glyphs:\n%s", g)
+	}
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	// Header + 2 host rows + legend.
+	if len(lines) != 4 {
+		t.Fatalf("gantt has %d lines:\n%s", len(lines), g)
+	}
+	if !strings.Contains(g, "legend") {
+		t.Fatal("gantt missing legend")
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	r := &Recorder{}
+	if got := r.Gantt(topology.TwoDCMicro(2, 0.25), 40); !strings.Contains(got, "no spans") {
+		t.Fatalf("empty gantt = %q", got)
+	}
+}
+
+func TestGanttTinyWidthClamped(t *testing.T) {
+	topo := topology.TwoDCMicro(2, 0.25)
+	r := &Recorder{}
+	r.Add(Span{Kind: KindMap, Host: 0, Start: 0, End: 1})
+	if g := r.Gantt(topo, 1); !strings.Contains(g, "M") {
+		t.Fatalf("clamped gantt broken:\n%s", g)
+	}
+}
+
+func TestGlyphCoverage(t *testing.T) {
+	for _, k := range []Kind{KindMap, KindReduce, KindPush, KindReceive, KindFetch, KindInput, KindResult, KindFail} {
+		if k.glyph() == '?' {
+			t.Fatalf("kind %q has no glyph", k)
+		}
+	}
+	if Kind("bogus").glyph() != '?' {
+		t.Fatal("unknown kind should render ?")
+	}
+}

@@ -1,0 +1,101 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"wanshuffle/internal/core"
+	"wanshuffle/internal/rdd"
+)
+
+// webJoinModeledBytes models HiBench's web-analytics join inputs
+// (rankings ⋈ uservisits): the visits table dominates at ~1.5 GB with a
+// ~120 MB rankings side.
+const (
+	webJoinVisitsBytes   = 1.5 * GB
+	webJoinRankingsBytes = 120 * MB
+)
+
+// WebJoin is an extension workload beyond the paper's five: the classic
+// web-analytics query (join page rankings with user visits on URL, then
+// aggregate ad revenue by source-IP prefix). Joins cannot combine
+// map-side, so the full visits table crosses the shuffle — the regime
+// where aggregation helps most after PageRank.
+func WebJoin() *Workload {
+	return &Workload{
+		Name:   "WebJoin",
+		TableI: "(extension) rankings 120 MB ⋈ uservisits 1.5 GB, revenue by /16 prefix.",
+		Make: func(ctx *core.Context, opts Options) *Instance {
+			opts = opts.withDefaults()
+			rankings, visits := webJoinTables(opts)
+			rin := ctx.DistributeRecords("wj.rankings", rankings, opts.MapParts, webJoinRankingsBytes*opts.Scale)
+			vin := ctx.DistributeRecords("wj.visits", visits, opts.MapParts, webJoinVisitsBytes*opts.Scale)
+			return &Instance{
+				Target: webJoinJob(rin, vin, opts),
+				Validate: func(got []rdd.Pair) error {
+					return expectFloatMatch(got, webJoinReference(opts), 1e-9)
+				},
+			}
+		},
+		MakeReference: webJoinReference,
+	}
+}
+
+// Extensions lists workloads beyond the paper's evaluation set.
+func Extensions() []*Workload {
+	return []*Workload{WebJoin()}
+}
+
+func webJoinTables(opts Options) (rankings, visits []rdd.Pair) {
+	rng := rand.New(rand.NewSource(opts.Seed ^ 0x3e8f1))
+	const pages = 400
+	const nVisits = 2500
+	zipf := rand.NewZipf(rng, 1.25, 1, pages-1)
+	for p := 0; p < pages; p++ {
+		rankings = append(rankings, rdd.KV(urlName(p), p+1))
+	}
+	for v := 0; v < nVisits; v++ {
+		page := int(zipf.Uint64())
+		ip := fmt.Sprintf("%d.%d.%d.%d", rng.Intn(16)+1, rng.Intn(256), rng.Intn(256), rng.Intn(256))
+		revenue := float64(rng.Intn(1000)) / 100
+		visits = append(visits, rdd.KV(urlName(page), fmt.Sprintf("%s %.2f", ip, revenue)))
+	}
+	return rankings, visits
+}
+
+func urlName(p int) string { return fmt.Sprintf("url%05d", p) }
+
+// webJoinJob: join on URL (visits gain the page rank), then sum ad revenue
+// per /16 source prefix, weighting by whether the page is well-ranked.
+func webJoinJob(rankings, visits *rdd.RDD, opts Options) *rdd.RDD {
+	joined := rankings.Join("wj.join", visits, opts.Parallelism)
+	contribs := joined.FlatMap("wj.revenue", func(p rdd.Pair) []rdd.Pair {
+		pair := p.Value.([]rdd.Value)
+		rank := pair[0].(int)
+		fields := strings.Fields(pair[1].(string))
+		ip, revStr := fields[0], fields[1]
+		revenue, err := strconv.ParseFloat(revStr, 64)
+		if err != nil {
+			return nil
+		}
+		if rank > 200 {
+			// Poorly ranked pages don't count (the query's filter).
+			return nil
+		}
+		parts := strings.SplitN(ip, ".", 3)
+		prefix := parts[0] + "." + parts[1]
+		return []rdd.Pair{rdd.KV(prefix, revenue)}
+	})
+	return contribs.SumByKey("wj.byPrefix", opts.Parallelism)
+}
+
+func webJoinReference(opts Options) []rdd.Pair {
+	opts = opts.withDefaults()
+	g := rdd.NewGraph()
+	rankings, visits := webJoinTables(opts)
+	rin := localInput(g, "wj.rankings", rankings, opts.MapParts)
+	vin := localInput(g, "wj.visits", visits, opts.MapParts)
+	return rdd.CollectLocal(webJoinJob(rin, vin, opts))
+}

@@ -1,0 +1,163 @@
+// Package workloads re-implements the five HiBench workloads the paper
+// evaluates (Table I): WordCount, Sort, TeraSort, PageRank, and NaiveBayes.
+//
+// Each workload provides a deterministic, seeded input generator whose
+// partitions are spread across every datacenter (the wide-area setting),
+// the job dataflow expressed on the wanshuffle RDD API, and a validator
+// that checks the simulated cluster's output against an in-memory reference
+// evaluation of the identical lineage.
+//
+// Real record counts are scaled down for simulation speed; every partition
+// carries the paper-scale modeled byte size from Table I, which is what all
+// timing and traffic modeling uses. Generators are tuned so that the
+// *ratios* that drive the paper's findings hold: WordCount's combined map
+// output is a small fraction of its input, Sort and TeraSort shuffle their
+// full input, TeraSort's pre-shuffle map bloats the data (Sec. V-B), and
+// PageRank re-shuffles comparable volumes every iteration.
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"wanshuffle/internal/core"
+	"wanshuffle/internal/rdd"
+)
+
+// Byte-size units for Table I specifications.
+const (
+	MB = 1e6
+	GB = 1e9
+)
+
+// Options configure one workload instance.
+type Options struct {
+	// Seed drives the input generator. Runs with equal seeds generate
+	// identical data.
+	Seed int64
+	// Parallelism is the reduce-side partition count; the paper sets it
+	// to 8 (Sec. V-A). Defaults to 8.
+	Parallelism int
+	// MapParts is the map-side partition count. HiBench inputs are HDFS
+	// files, so map tasks follow block count (3.2 GB ≈ 25 blocks of
+	// 128 MB), not the parallelism setting. Defaults to 24 — one per
+	// worker, matching the cluster's HDFS spread.
+	MapParts int
+	// Scale multiplies the modeled (paper-scale) data sizes; 1.0
+	// reproduces Table I "large scale". Defaults to 1.0.
+	Scale float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Parallelism <= 0 {
+		o.Parallelism = 8
+	}
+	if o.MapParts <= 0 {
+		o.MapParts = 24
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	return o
+}
+
+// Instance is one constructed workload: the job's target RDD plus a
+// validator over the collected output.
+type Instance struct {
+	// Target is the RDD the job collects.
+	Target *rdd.RDD
+	// Validate checks the engine's collected output.
+	Validate func(got []rdd.Pair) error
+}
+
+// Workload is one benchmark from the HiBench suite.
+type Workload struct {
+	// Name as reported in the paper's figures.
+	Name string
+	// TableI is the specification line from the paper's Table I.
+	TableI string
+	// InFig8 reports whether the paper's Fig. 8 includes this workload.
+	InFig8 bool
+	// Make builds the workload inside a context.
+	Make func(ctx *core.Context, opts Options) *Instance
+	// MakeReference evaluates the same lineage in memory (built fresh on
+	// a second graph) and returns the expected output records.
+	MakeReference func(opts Options) []rdd.Pair
+}
+
+// All lists the paper's five workloads in Table I order.
+func All() []*Workload {
+	return []*Workload{WordCount(), Sort(), TeraSort(), PageRank(), NaiveBayes()}
+}
+
+// ByName returns the workload with the given name.
+func ByName(name string) (*Workload, error) {
+	for _, w := range All() {
+		if strings.EqualFold(w.Name, name) {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// --- shared validation helpers ---
+
+// canonExact renders records as a canonical multiset string for exact
+// comparison.
+func canonExact(records []rdd.Pair) []string {
+	out := make([]string, len(records))
+	for i, p := range records {
+		out[i] = fmt.Sprintf("%s\x00%v", p.Key, p.Value)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// expectExactMatch compares two record multisets exactly.
+func expectExactMatch(got, want []rdd.Pair) error {
+	g, w := canonExact(got), canonExact(want)
+	if len(g) != len(w) {
+		return fmt.Errorf("got %d records, want %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			return fmt.Errorf("record %d mismatch: got %q, want %q", i, g[i], w[i])
+		}
+	}
+	return nil
+}
+
+// expectFloatMatch compares keyed float64 outputs within tolerance
+// (floating-point sums depend on reduction order).
+func expectFloatMatch(got, want []rdd.Pair, tol float64) error {
+	w := map[string]float64{}
+	for _, p := range want {
+		w[p.Key] = p.Value.(float64)
+	}
+	if len(got) != len(w) {
+		return fmt.Errorf("got %d records, want %d", len(got), len(w))
+	}
+	for _, p := range got {
+		ref, ok := w[p.Key]
+		if !ok {
+			return fmt.Errorf("unexpected key %q", p.Key)
+		}
+		v := p.Value.(float64)
+		if math.Abs(v-ref) > tol*(1+math.Abs(ref)) {
+			return fmt.Errorf("key %q = %v, want %v", p.Key, v, ref)
+		}
+	}
+	return nil
+}
+
+// expectSorted verifies records are globally ordered by key.
+func expectSorted(got []rdd.Pair) error {
+	for i := 1; i < len(got); i++ {
+		if got[i].Key < got[i-1].Key {
+			return fmt.Errorf("output not sorted at %d: %q < %q", i, got[i].Key, got[i-1].Key)
+		}
+	}
+	return nil
+}
