@@ -16,6 +16,8 @@
 //	-gantt     print the per-worker execution timeline
 //	-matrix    print the per-region traffic matrix
 //	-validate  check the output against the in-memory reference
+//	-live      execute on a real loopback TCP cluster instead of the
+//	           simulator (scheme spark → fetch shuffle, agg → push)
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 
 	"wanshuffle/internal/core"
 	"wanshuffle/internal/exec"
+	"wanshuffle/internal/livecluster"
 	"wanshuffle/internal/workloads"
 )
 
@@ -47,6 +50,7 @@ func run(args []string) error {
 	chrome := fs.String("chrome", "", "write a Chrome trace-event JSON to this file")
 	matrix := fs.Bool("matrix", false, "print the per-region traffic matrix")
 	validate := fs.Bool("validate", false, "validate output against the reference")
+	live := fs.Bool("live", false, "run on a real loopback TCP cluster instead of the simulator")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +74,9 @@ func run(args []string) error {
 		Exec:   exec.Config{Trace: *gantt || *chrome != ""},
 	})
 	inst := w.Make(ctx, workloads.Options{Seed: *seed, Scale: *scale})
+	if *live {
+		return runLive(w.Name, inst, sch, *validate)
+	}
 	rep, err := ctx.Save(inst.Target)
 	if err != nil {
 		return err
@@ -115,6 +122,58 @@ func run(args []string) error {
 	}
 	if *validate {
 		if err := inst.Validate(rep.Records); err != nil {
+			return fmt.Errorf("validation failed: %w", err)
+		}
+		fmt.Println("  output validated against the in-memory reference ✓")
+	}
+	return nil
+}
+
+// runLive executes the workload on a real loopback TCP cluster. Only the
+// schemes with a live shuffle mechanism map: spark is the fetch-based
+// shuffle, agg is Push/Aggregate with per-shuffle measured-size aggregator
+// selection. Timing and traffic are wall-clock and actual socket bytes,
+// not the WAN model.
+func runLive(name string, inst *workloads.Instance, sch core.Scheme, validate bool) error {
+	var mode livecluster.Mode
+	switch sch {
+	case core.SchemeSpark:
+		mode = livecluster.ModeFetch
+	case core.SchemeAggShuffle:
+		mode = livecluster.ModePush
+	default:
+		return fmt.Errorf("-live supports schemes spark and agg, not %v", sch)
+	}
+	cluster, err := livecluster.New(livecluster.Config{Workers: 6, Mode: mode})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	out, stats, err := cluster.Run(inst.Target)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s live on %d workers (%s shuffle)\n", name, len(stats.ShardsByWorker), mode)
+	fmt.Printf("  output records:   %d\n", len(out))
+	fmt.Printf("  bytes over TCP:   %d\n", stats.BytesOverTCP)
+	fmt.Printf("  pushes/fetches:   %d/%d (%d samples, %d dials)\n",
+		stats.PushConnections, stats.FetchConnections, stats.SampleRequests, stats.Dials)
+	fmt.Println("  stages:")
+	for _, st := range stats.StageSpans {
+		fmt.Printf("    %-34s %7.3f -> %7.3f (%6.3f s)\n", st.Name, st.Start, st.End, st.End-st.Start)
+	}
+	if mode == livecluster.ModePush {
+		ids := make([]int, 0, len(stats.AggregatorsByShuffle))
+		for id := range stats.AggregatorsByShuffle {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			fmt.Printf("  shuffle %d aggregated at worker(s) %v\n", id, stats.AggregatorsByShuffle[id])
+		}
+	}
+	if validate {
+		if err := inst.Validate(out); err != nil {
 			return fmt.Errorf("validation failed: %w", err)
 		}
 		fmt.Println("  output validated against the in-memory reference ✓")

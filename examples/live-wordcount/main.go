@@ -3,9 +3,13 @@
 // on the loopback interface, not the discrete-event simulator.
 //
 // This demonstrates that Push/Aggregate is an executable system design:
-// under push mode every mapper ships its combined output to the aggregator
-// worker the moment it finishes, and afterwards all map output lives there
-// (watch the per-worker shard counts).
+// the job chains two shuffles (count words, then regroup the counts by
+// frequency bucket), and under push mode every mapper ships its combined
+// output to a per-shuffle aggregator worker — chosen automatically by
+// shuffle.BestAggregator from the map-output sizes measured on the wire —
+// the moment it finishes. Watch the per-worker shard counts and the chosen
+// aggregators; connection reuse means fetches and pushes far outnumber
+// TCP dials.
 //
 //	go run ./examples/live-wordcount
 package main
@@ -29,9 +33,10 @@ func main() {
 func run() error {
 	for _, mode := range []livecluster.Mode{livecluster.ModeFetch, livecluster.ModePush} {
 		cluster, err := livecluster.New(livecluster.Config{
-			Workers:     4,
-			Mode:        mode,
-			Aggregators: []int{0},
+			Workers: 4,
+			Mode:    mode,
+			// No Aggregators pin: push mode picks each shuffle's
+			// aggregator from measured map-output sizes.
 		})
 		if err != nil {
 			return err
@@ -41,13 +46,19 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("[%s] %d distinct words, %d bytes over TCP, %d pushes, %d fetches\n",
-			mode, len(out), stats.BytesOverTCP, stats.PushConnections, stats.FetchConnections)
-		fmt.Printf("      map output per worker after the map phase: %v\n", stats.ShardsByWorker)
+		fmt.Printf("[%s] %d buckets, %d bytes over TCP, %d pushes, %d fetches, %d dials\n",
+			mode, len(out), stats.BytesOverTCP, stats.PushConnections, stats.FetchConnections, stats.Dials)
+		fmt.Printf("      map output per worker after the map phases: %v\n", stats.ShardsByWorker)
+		for id, sites := range stats.AggregatorsByShuffle {
+			fmt.Printf("      shuffle %d aggregated at worker(s) %v\n", id, sites)
+		}
 	}
 	return nil
 }
 
+// buildJob chains two shuffles: classic word count, then a regroup of the
+// counts by order of magnitude — a shape the pre-planner live cluster
+// could not execute.
 func buildJob() *rdd.RDD {
 	g := rdd.NewGraph()
 	inputs := make([]rdd.InputPartition, 8)
@@ -69,7 +80,13 @@ func buildJob() *rdd.RDD {
 		}
 		return out
 	})
-	return words.ReduceByKey("count", 4, func(a, b rdd.Value) rdd.Value {
+	counts := words.ReduceByKey("count", 4, func(a, b rdd.Value) rdd.Value {
 		return a.(int) + b.(int)
 	})
+	return counts.
+		KeyBy("bucket", func(p rdd.Pair) string {
+			return fmt.Sprintf("~10^%d", len(fmt.Sprint(p.Value.(int)))-1)
+		}).
+		GroupByKey("byMagnitude", 3).
+		MapValues("size", func(v rdd.Value) rdd.Value { return len(v.([]rdd.Value)) })
 }

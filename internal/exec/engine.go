@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"wanshuffle/internal/dag"
+	"wanshuffle/internal/plan"
 	"wanshuffle/internal/rdd"
 	"wanshuffle/internal/sched"
 	"wanshuffle/internal/shuffle"
@@ -133,7 +134,7 @@ func (c Config) withDefaults() Config {
 		c.ComputeNoise = 0
 	}
 	if c.MaxAttempts <= 0 {
-		c.MaxAttempts = 4
+		c.MaxAttempts = plan.DefaultMaxAttempts
 	}
 	if c.ReducerLocalityFraction <= 0 {
 		c.ReducerLocalityFraction = 0.2
@@ -160,6 +161,7 @@ type Engine struct {
 	Tracer *trace.Recorder
 
 	cfg      Config
+	retry    plan.Retry
 	reg      *shuffle.Registry
 	noiseRNG sim.RNG
 	failRNG  sim.RNG
@@ -196,6 +198,7 @@ func New(topo *topology.Topology, seed int64, cfg Config) *Engine {
 		Topo:       topo,
 		Sched:      sched.New(clock, topo, cfg.Sched),
 		cfg:        cfg,
+		retry:      plan.Retry{Max: cfg.MaxAttempts},
 		reg:        shuffle.NewRegistry(),
 		noiseRNG:   sim.Stream(seed, "exec.noise"),
 		failRNG:    sim.Stream(seed, "exec.failure"),
@@ -213,19 +216,20 @@ func New(topo *topology.Topology, seed int64, cfg Config) *Engine {
 }
 
 // AggregatorPolicy selects the automatic-aggregation rule (ablations of
-// the paper's Sec. III-B analysis).
-type AggregatorPolicy int
+// the paper's Sec. III-B analysis). The type and its policies live in the
+// shared planner package so both backends mean the same thing by them.
+type AggregatorPolicy = plan.AggregatorPolicy
 
 // Aggregator policies.
 const (
 	// AggregatorBest picks the DC with the largest input share — the
 	// paper's rule (Eq. 2 optimum).
-	AggregatorBest AggregatorPolicy = iota
+	AggregatorBest = plan.AggregatorBest
 	// AggregatorRandom picks a seeded random DC.
-	AggregatorRandom
+	AggregatorRandom = plan.AggregatorRandom
 	// AggregatorWorst picks the DC with the smallest input share (the
 	// Eq. 2 pessimum), bounding how much the selection rule matters.
-	AggregatorWorst
+	AggregatorWorst = plan.AggregatorWorst
 )
 
 // Action selects what Run does with the final RDD.
@@ -244,13 +248,9 @@ const (
 	ActionSave
 )
 
-// StageSpan reports one stage's execution window (Fig. 9's unit).
-type StageSpan struct {
-	ID    int
-	Name  string
-	Start float64
-	End   float64
-}
+// StageSpan reports one stage's execution window (Fig. 9's unit). It is
+// the shared plan.StageSpan so simulated and live timelines interoperate.
+type StageSpan = plan.StageSpan
 
 // Result reports one job run.
 type Result struct {
@@ -423,24 +423,25 @@ func (e *Engine) RunMany(specs []JobSpec) ([]*Result, error) {
 	return results, nil
 }
 
-// prepareJob plans a job and registers its shuffles.
+// prepareJob plans a job through the shared planner and registers its
+// shuffles.
 func (e *Engine) prepareJob(target *rdd.RDD, action Action) (*jobState, error) {
-	plan, err := dag.BuildPlan(target)
+	pj, err := plan.BuildJob(target)
 	if err != nil {
 		return nil, fmt.Errorf("exec: planning failed: %w", err)
 	}
 	job := &jobState{
 		action:        action,
-		plan:          plan,
+		plan:          pj.Plan,
 		byStage:       make(map[*dag.Stage]*stageState),
-		resultRecords: make([][]rdd.Pair, plan.Final.NumTasks),
-		resultCounts:  make([]int, plan.Final.NumTasks),
+		resultRecords: make([][]rdd.Pair, pj.Plan.Final.NumTasks),
+		resultCounts:  make([]int, pj.Plan.Final.NumTasks),
 		startCross:    e.Net.CrossDCBytes(),
 		startByTag:    e.Net.CrossDCBytesByTag(),
 		startPair:     e.pairSnapshot(),
 		start:         e.Clock.Now(),
 	}
-	for _, st := range plan.Stages {
+	for _, st := range pj.Plan.Stages {
 		ss := &stageState{st: st, job: job, pendingParents: len(st.Parents)}
 		job.stages = append(job.stages, ss)
 		job.byStage[st] = ss

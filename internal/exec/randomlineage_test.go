@@ -1,8 +1,6 @@
 package exec
 
 import (
-	"fmt"
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -11,60 +9,10 @@ import (
 	"wanshuffle/internal/topology"
 )
 
-// buildRandomLineage constructs a random but valid job from a seeded
-// grammar: input → (narrow | shuffle)* with bounded depth. The same seed
-// rebuilds the identical lineage, so the engine's output can be compared
-// against a fresh in-memory evaluation.
+// buildRandomLineage delegates to the shared seeded job generator, placing
+// inputs on this topology's workers.
 func buildRandomLineage(seed int64, g *rdd.Graph, topo *topology.Topology) *rdd.RDD {
-	rng := rand.New(rand.NewSource(seed))
-	workers := topo.Workers()
-
-	numParts := rng.Intn(10) + 2
-	parts := make([]rdd.InputPartition, numParts)
-	for p := range parts {
-		n := rng.Intn(30) + 1
-		recs := make([]rdd.Pair, n)
-		for i := range recs {
-			recs[i] = rdd.KV(fmt.Sprintf("k%02d", rng.Intn(12)), rng.Intn(100))
-		}
-		parts[p] = rdd.InputPartition{
-			Host:         workers[rng.Intn(len(workers))],
-			ModeledBytes: float64(rng.Intn(20)+1) * mb,
-			Records:      recs,
-		}
-	}
-	node := g.Input(fmt.Sprintf("in%d", seed), parts)
-
-	depth := rng.Intn(4) + 1
-	for d := 0; d < depth; d++ {
-		switch rng.Intn(5) {
-		case 0:
-			node = node.Map(fmt.Sprintf("map%d", d), func(p rdd.Pair) rdd.Pair {
-				return rdd.KV(p.Key, p.Value.(int)+1)
-			})
-		case 1:
-			node = node.Filter(fmt.Sprintf("filter%d", d), func(p rdd.Pair) bool {
-				return p.Value.(int)%3 != 0
-			})
-		case 2:
-			node = node.FlatMap(fmt.Sprintf("flat%d", d), func(p rdd.Pair) []rdd.Pair {
-				return []rdd.Pair{p, rdd.KV(p.Key+"x", p.Value)}
-			})
-		case 3:
-			node = node.ReduceByKey(fmt.Sprintf("sum%d", d), rng.Intn(6)+2, func(a, b rdd.Value) rdd.Value {
-				return a.(int) + b.(int)
-			})
-		case 4:
-			grouped := node.GroupByKey(fmt.Sprintf("grp%d", d), rng.Intn(6)+2)
-			node = grouped.Map(fmt.Sprintf("size%d", d), func(p rdd.Pair) rdd.Pair {
-				return rdd.KV(p.Key, len(p.Value.([]rdd.Value)))
-			})
-		}
-	}
-	// Terminal combining shuffle keeps outputs small and deterministic.
-	return node.ReduceByKey("final", 4, func(a, b rdd.Value) rdd.Value {
-		return a.(int) + b.(int)
-	})
+	return rdd.RandomLineage(seed, g, topo.Workers())
 }
 
 // TestQuickRandomLineagesAllSchemes drives random jobs through the full

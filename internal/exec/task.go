@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"wanshuffle/internal/plan"
 	"wanshuffle/internal/rdd"
 	"wanshuffle/internal/sched"
 	"wanshuffle/internal/topology"
@@ -150,24 +151,7 @@ func (e *Engine) resolveAggregator(ss *stageState) {
 			}
 		}
 	}
-	rank := make([]topology.DCID, len(byDC))
-	for i := range rank {
-		rank[i] = topology.DCID(i)
-	}
-	sort.SliceStable(rank, func(i, j int) bool { return byDC[rank[i]] > byDC[rank[j]] })
-	switch e.cfg.AggregatorPolicy {
-	case AggregatorBest:
-		// The paper's rule: largest input share first (Eq. 2).
-	case AggregatorWorst:
-		for i, j := 0, len(rank)-1; i < j; i, j = i+1, j-1 {
-			rank[i], rank[j] = rank[j], rank[i]
-		}
-	case AggregatorRandom:
-		e.aggRNG.Shuffle(len(rank), func(i, j int) { rank[i], rank[j] = rank[j], rank[i] })
-	default:
-		panic(fmt.Sprintf("exec: unknown aggregator policy %d", e.cfg.AggregatorPolicy))
-	}
-	ss.aggRank = rank
+	ss.aggRank = plan.Rank[topology.DCID](byDC, e.cfg.AggregatorPolicy, e.aggRNG.Shuffle)
 	ss.aggResolved = true
 }
 
@@ -180,14 +164,7 @@ func (e *Engine) transferTarget(ss *stageState, spec *rdd.TransferSpec, part int
 	if !ss.aggResolved {
 		panic(fmt.Sprintf("exec: %s: auto transfer without resolved aggregator", ss.st.Name()))
 	}
-	k := spec.K
-	if k < 1 {
-		k = 1
-	}
-	if k > len(ss.aggRank) {
-		k = len(ss.aggRank)
-	}
-	return ss.aggRank[part%k]
+	return plan.SpreadTopK(ss.aggRank, spec.K, part)
 }
 
 // taskRun is one attempt of one partition's work, starting at a given
@@ -471,7 +448,7 @@ func (e *Engine) computePhase(t *taskRun, host topology.HostID, release func(), 
 	if e.isDead(host) {
 		// The host died under this attempt; fail over elsewhere.
 		release()
-		if t.attempt >= e.cfg.MaxAttempts {
+		if !e.retry.Allow(t.attempt + 1) {
 			e.failJob(t.ss.job, fmt.Errorf("exec: task %s lost its host %d times", t.name(), t.attempt))
 			return
 		}
@@ -544,8 +521,8 @@ func (e *Engine) computePhase(t *taskRun, host topology.HostID, release func(), 
 			e.Clock.After(at, func() {
 				e.trace(trace.Span{Kind: trace.KindFail, Host: host, Stage: st.ID, Part: t.part, Start: computeStart, End: e.Clock.Now(), Label: "failed attempt"})
 				release()
-				if t.attempt >= e.cfg.MaxAttempts {
-					e.failJob(t.ss.job, fmt.Errorf("exec: task %s exceeded %d attempts", t.name(), e.cfg.MaxAttempts))
+				if !e.retry.Allow(t.attempt + 1) {
+					e.failJob(t.ss.job, fmt.Errorf("exec: task %s exceeded %d attempts", t.name(), e.retry.Limit()))
 					return
 				}
 				e.submitTask(&taskRun{ss: t.ss, part: t.part, phase: t.ss.startPhase, attempt: t.attempt + 1})

@@ -1,0 +1,189 @@
+package livecluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wanshuffle/internal/dag"
+	"wanshuffle/internal/plan"
+	"wanshuffle/internal/rdd"
+	"wanshuffle/internal/topology"
+	"wanshuffle/internal/trace"
+)
+
+// outMeta records where one map output landed and how big it was.
+type outMeta struct {
+	site  int
+	bytes float64
+	ok    bool
+}
+
+// liveRun implements plan.Backend for one job on the cluster: tasks run as
+// goroutines at their assigned worker, shuffle bytes cross the workers'
+// TCP sockets, and the driver's planning decisions (stages, aggregators,
+// placement, retries) arrive through the interface.
+type liveRun struct {
+	c     *Cluster
+	stats *Stats
+	start time.Time
+
+	mu sync.Mutex
+	// holders tracks, per shuffle ID, each map output's holder worker and
+	// measured size — the live MapOutputTracker feeding both shuffle reads
+	// and the next shuffle's aggregator selection.
+	holders map[int][]outMeta
+}
+
+func newLiveRun(c *Cluster, stats *Stats) *liveRun {
+	return &liveRun{c: c, stats: stats, start: time.Now(), holders: map[int][]outMeta{}}
+}
+
+// NumSites implements plan.Backend: one site per worker.
+func (r *liveRun) NumSites() int { return len(r.c.workers) }
+
+// SiteOfHost implements plan.Backend: lineage hosts wrap onto workers.
+func (r *liveRun) SiteOfHost(h topology.HostID) int { return int(h) % len(r.c.workers) }
+
+// InputSizes implements plan.Backend: leaf input bytes at the sites their
+// tasks round-robin onto, plus the measured sizes of map outputs feeding
+// the stage's shuffle boundaries, at their holder workers.
+func (r *liveRun) InputSizes(st *dag.Stage) []float64 {
+	bySite := make([]float64, len(r.c.workers))
+	for _, src := range st.Sources {
+		for i := range src.Input {
+			bySite[i%len(r.c.workers)] += rdd.SizeOfAll(src.Input[i].Records)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, bd := range st.Boundaries {
+		for di := range bd.Deps {
+			for _, om := range r.holders[bd.Deps[di].Shuffle.ID] {
+				if om.ok {
+					bySite[om.site] += om.bytes
+				}
+			}
+		}
+	}
+	return bySite
+}
+
+// RunMapTask implements plan.Backend: evaluate the partition at its
+// worker, prepare it map-side, then push it to the aggregator over TCP the
+// moment the task finishes (aggTo >= 0, the paper's transferTo) or store
+// it locally for later fetches.
+func (r *liveRun) RunMapTask(st *dag.Stage, part, site, aggTo int) error {
+	w := r.c.workers[site]
+	t0 := r.since()
+	recs, err := plan.EvalStagePart(st, part, r.reader(site))
+	if err != nil {
+		return err
+	}
+	prepared := rdd.MapSidePrepare(st.OutSpec, recs)
+	holder := site
+	if aggTo >= 0 {
+		if err := w.push(r.c.workers[aggTo].addr, st.OutSpec.ID, part, prepared, r.stats); err != nil {
+			return err
+		}
+		holder = aggTo
+	} else {
+		w.storeMapOutput(st.OutSpec.ID, part, prepared)
+	}
+	r.mu.Lock()
+	hs := r.holders[st.OutSpec.ID]
+	if hs == nil {
+		hs = make([]outMeta, st.NumTasks)
+		r.holders[st.OutSpec.ID] = hs
+	}
+	hs[part] = outMeta{site: holder, bytes: rdd.SizeOfAll(prepared), ok: true}
+	r.mu.Unlock()
+	r.span(trace.KindMap, site, st.ID, part, t0)
+	return nil
+}
+
+// RunResultTask implements plan.Backend.
+func (r *liveRun) RunResultTask(st *dag.Stage, part, site int) ([]rdd.Pair, error) {
+	t0 := r.since()
+	recs, err := plan.EvalStagePart(st, part, r.reader(site))
+	if err != nil {
+		return nil, err
+	}
+	r.span(trace.KindReduce, site, st.ID, part, t0)
+	return recs, nil
+}
+
+// Barrier implements plan.Backend: once a map stage completes, prepare its
+// range partitioner from keys sampled out of the stored map outputs, over
+// the wire (Spark's sampling job at the map barrier).
+func (r *liveRun) Barrier(st *dag.Stage) error {
+	spec := st.OutSpec
+	if !spec.SampleForRange || spec.Partitioner.Ready() {
+		return nil
+	}
+	var sample []string
+	for m := 0; m < st.NumTasks; m++ {
+		om, err := r.holderOf(spec.ID, m)
+		if err != nil {
+			return err
+		}
+		keys, err := r.c.sampleKeys(r.c.workers[om.site].addr, spec.ID, m, 1000, r.stats)
+		if err != nil {
+			return err
+		}
+		sample = append(sample, keys...)
+	}
+	spec.Partitioner.(*rdd.RangePartitioner).Prepare(sample)
+	return nil
+}
+
+// StageDone implements plan.Backend.
+func (r *liveRun) StageDone(span plan.StageSpan) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.StageSpans = append(r.stats.StageSpans, span)
+}
+
+// reader builds the ShuffleReader tasks at one worker gather their shuffle
+// input through: every map output's shard is fetched over TCP from its
+// holder (aggregator or mapper), serially in map order so gathered records
+// arrive deterministically.
+func (r *liveRun) reader(site int) plan.ShuffleReader {
+	return func(spec *rdd.ShuffleSpec, reduce int) ([]rdd.Pair, error) {
+		r.mu.Lock()
+		numMaps := len(r.holders[spec.ID])
+		r.mu.Unlock()
+		var out []rdd.Pair
+		for m := 0; m < numMaps; m++ {
+			om, err := r.holderOf(spec.ID, m)
+			if err != nil {
+				return nil, err
+			}
+			shard, err := r.c.workers[site].fetch(r.c.workers[om.site].addr, spec.ID, m, reduce, r.stats)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, shard...)
+		}
+		return out, nil
+	}
+}
+
+func (r *liveRun) holderOf(shuffleID, mapPart int) (outMeta, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	hs := r.holders[shuffleID]
+	if mapPart >= len(hs) || !hs[mapPart].ok {
+		return outMeta{}, fmt.Errorf("livecluster: no worker holds shuffle %d map %d", shuffleID, mapPart)
+	}
+	return hs[mapPart], nil
+}
+
+func (r *liveRun) since() float64 { return time.Since(r.start).Seconds() }
+
+func (r *liveRun) span(kind trace.Kind, site, stage, part int, t0 float64) {
+	r.c.cfg.Trace.Add(trace.Span{
+		Kind: kind, Host: topology.HostID(site), Stage: stage, Part: part,
+		Start: t0, End: r.since(),
+	})
+}

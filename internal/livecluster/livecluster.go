@@ -1,34 +1,41 @@
 // Package livecluster executes wanshuffle jobs on a real miniature
 // cluster: worker processes are goroutines, but every byte of shuffle data
 // moves over genuine TCP connections on the loopback interface. It is the
-// functional twin of the simulator — same record semantics, validated
-// against rdd.EvalLocal — demonstrating that the Push/Aggregate mechanism
-// is an executable system design, not only a model.
+// functional twin of the simulator — same planner (internal/plan), same
+// record semantics, validated against rdd.EvalLocal — demonstrating that
+// the Push/Aggregate mechanism is an executable system design, not only a
+// model.
 //
-// Supported job shape: input partitions → narrow chain → one shuffle →
-// reduce-side aggregation (+ narrow post-chain), i.e. the classic
-// MapReduce skeleton of the paper's Figs. 1–3. Two shuffle modes mirror
-// the paper:
+// Jobs are planned by plan.BuildJob into shuffle-separated stages and
+// driven stage-by-stage by plan.Driver; the cluster implements the
+// plan.Backend interface. Any multi-stage DAG the simulator accepts runs
+// here too — chained shuffles, iterative rounds, cogroups — as long as the
+// lineage carries no explicit transferTo (aggregation is a cluster mode,
+// not a graph edit). Two shuffle modes mirror the paper:
 //
 //   - ModeFetch: mappers store their output locally; reducers pull every
 //     shard over TCP after the map barrier (stock Spark).
-//   - ModePush: each mapper pushes its prepared output to a receiver on
-//     one of the aggregator workers as soon as it finishes (transferTo);
+//   - ModePush: each mapper pushes its prepared output to a receiver on an
+//     aggregator worker as soon as it finishes (transferTo). The
+//     aggregator is chosen per shuffle by shuffle.BestAggregator from
+//     measured map-output sizes unless Config.Aggregators pins it;
 //     reducers then read from the aggregators only.
 //
 // Closures execute in-process (tasks share the lineage graph), while data
 // crosses sockets gob-encoded; record values must therefore be
 // gob-encodable (string, int, float64, bool, []byte and slices thereof are
-// pre-registered).
+// pre-registered). Workers keep their TCP connections to peers open across
+// requests and jobs (Stats.Dials counts the fresh ones).
 package livecluster
 
 import (
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"sync"
 
+	"wanshuffle/internal/plan"
 	"wanshuffle/internal/rdd"
+	"wanshuffle/internal/trace"
 )
 
 // Mode selects the shuffle mechanism.
@@ -60,11 +67,19 @@ type Config struct {
 	Workers int
 	// Mode defaults to ModeFetch.
 	Mode Mode
-	// Aggregators are worker indexes receiving pushes in ModePush.
-	// Defaults to {0}.
+	// Aggregators pins the worker indexes receiving pushes in ModePush.
+	// Empty means automatic: each shuffle's aggregator is the worker
+	// holding the largest share of the stage's input, measured from actual
+	// map-output sizes (shuffle.BestAggregator).
 	Aggregators []int
 	// TasksPerWorker bounds task concurrency per worker. Defaults to 2.
 	TasksPerWorker int
+	// MaxAttempts bounds attempts per task; <= 0 means the shared
+	// plan.DefaultMaxAttempts.
+	MaxAttempts int
+	// Trace, when non-nil, records per-task spans (wall-clock seconds
+	// since the job started).
+	Trace *trace.SyncRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -74,33 +89,46 @@ func (c Config) withDefaults() Config {
 	if c.Mode == 0 {
 		c.Mode = ModeFetch
 	}
-	if len(c.Aggregators) == 0 {
-		c.Aggregators = []int{0}
-	}
 	if c.TasksPerWorker <= 0 {
 		c.TasksPerWorker = 2
 	}
 	return c
 }
 
-// Cluster is a running set of loopback workers. Close it when done.
+// Cluster is a running set of loopback workers. Close it when done. Run
+// executes one job at a time; the workers, their listeners, and their
+// pooled peer connections persist across jobs.
 type Cluster struct {
 	cfg     Config
 	workers []*worker
-	specs   sync.Map // shuffleID → *rdd.ShuffleSpec (control plane metadata)
+	// specs is the control-plane shuffle metadata of the current job
+	// (shuffleID → *rdd.ShuffleSpec), the registry workers bucket by.
+	specs sync.Map
+	// pool is the driver's own client side, for control-plane requests
+	// like barrier sampling.
+	pool poolSet
 }
 
 // Stats reports the data-plane activity of one job.
 type Stats struct {
 	// BytesOverTCP is the total payload moved across sockets.
 	BytesOverTCP int64
-	// PushConnections and FetchConnections count data-plane connections
-	// by purpose.
+	// PushConnections, FetchConnections and SampleRequests count
+	// data-plane requests by purpose. Requests reuse pooled connections;
+	// Dials counts how many fresh TCP connections they actually opened.
 	PushConnections  int64
 	FetchConnections int64
+	SampleRequests   int64
+	Dials            int64
 	// ShardsByWorker counts map-output partitions stored per worker after
-	// the map phase — under ModePush everything lands on the aggregators.
+	// the job — under ModePush everything lands on the aggregators.
 	ShardsByWorker []int
+	// AggregatorsByShuffle records the aggregator workers chosen for each
+	// shuffle in ModePush (explicit or measured-size automatic).
+	AggregatorsByShuffle map[int][]int
+	// StageSpans are the per-stage execution windows, wall-clock seconds
+	// since the job started.
+	StageSpans []plan.StageSpan
 }
 
 // New starts the workers, each listening on an ephemeral loopback port.
@@ -123,8 +151,9 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// Close shuts every worker down.
+// Close shuts every worker down and drops all pooled connections.
 func (c *Cluster) Close() {
+	c.pool.closeAll()
 	for _, w := range c.workers {
 		if w != nil {
 			w.close()
@@ -142,237 +171,58 @@ func (c *Cluster) Addrs() []string {
 }
 
 // Run executes the job materializing target and returns its output records
-// (concatenated in reduce-partition order) plus data-plane statistics.
+// (concatenated in result-partition order) plus data-plane statistics. The
+// lineage may contain any number of shuffles; it is planned and driven
+// exactly like a simulator job.
 func (c *Cluster) Run(target *rdd.RDD) ([]rdd.Pair, *Stats, error) {
-	job, err := analyze(target)
+	job, err := plan.BuildJob(target)
+	if err != nil {
+		return nil, nil, fmt.Errorf("livecluster: %w", err)
+	}
+	c.resetJobState()
+	for _, spec := range job.Plan.Shuffles() {
+		c.specs.Store(spec.ID, spec)
+	}
+	stats := &Stats{
+		ShardsByWorker:       make([]int, len(c.workers)),
+		AggregatorsByShuffle: map[int][]int{},
+	}
+	run := newLiveRun(c, stats)
+	drv := plan.NewDriver(job, run, plan.DriverConfig{
+		Aggregate:   c.cfg.Mode == ModePush,
+		Aggregators: c.cfg.Aggregators,
+		SiteSlots:   c.cfg.TasksPerWorker,
+		Retry:       plan.Retry{Max: c.cfg.MaxAttempts},
+	})
+	parts, err := drv.Run()
 	if err != nil {
 		return nil, nil, err
 	}
-	stats := &Stats{ShardsByWorker: make([]int, len(c.workers))}
-	c.specs.Store(job.spec.ID, job.spec)
-
-	// Map phase: one task per input partition, assigned round-robin,
-	// bounded per-worker concurrency.
-	numMaps := job.mapTop.NumParts()
-	var wg sync.WaitGroup
-	errs := make([]error, numMaps)
-	sems := make([]chan struct{}, len(c.workers))
-	for i := range sems {
-		sems[i] = make(chan struct{}, c.cfg.TasksPerWorker)
-	}
-	for part := 0; part < numMaps; part++ {
-		part := part
-		wid := part % len(c.workers)
-		wg.Add(1)
-		sems[wid] <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sems[wid] }()
-			errs[part] = c.runMapTask(job, part, wid, stats)
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
+	for _, spec := range job.Plan.Shuffles() {
+		if sites := drv.AggregatedTo(spec.ID); len(sites) > 0 {
+			stats.AggregatorsByShuffle[spec.ID] = sites
 		}
 	}
-
-	// Reduce phase after the barrier.
-	numReduces := job.spec.Partitioner.NumPartitions()
-	results := make([][]rdd.Pair, numReduces)
-	rerrs := make([]error, numReduces)
-	var rwg sync.WaitGroup
-	for r := 0; r < numReduces; r++ {
-		r := r
-		wid := c.reduceWorker(r)
-		rwg.Add(1)
-		sems[wid] <- struct{}{}
-		go func() {
-			defer rwg.Done()
-			defer func() { <-sems[wid] }()
-			results[r], rerrs[r] = c.runReduceTask(job, r, numMaps, stats)
-		}()
-	}
-	rwg.Wait()
-	for _, err := range rerrs {
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-
 	for i, w := range c.workers {
 		stats.ShardsByWorker[i] = w.storedOutputs()
 	}
 	var out []rdd.Pair
-	for _, part := range results {
-		out = append(out, part...)
+	for _, p := range parts {
+		out = append(out, p...)
 	}
 	return out, stats, nil
 }
 
-// reduceWorker places reducers: on aggregators in push mode (data
-// locality), round-robin otherwise.
-func (c *Cluster) reduceWorker(r int) int {
-	if c.cfg.Mode == ModePush {
-		return c.cfg.Aggregators[r%len(c.cfg.Aggregators)]
-	}
-	return r % len(c.workers)
-}
-
-// runMapTask computes one map partition on worker wid and stores or pushes
-// its prepared output.
-func (c *Cluster) runMapTask(job *jobShape, part, wid int, stats *Stats) error {
-	records := evalNarrow(job.mapTop, part)
-	prepared := rdd.MapSidePrepare(job.spec, records)
-	switch c.cfg.Mode {
-	case ModeFetch:
-		c.workers[wid].storeMapOutput(job.spec.ID, part, prepared)
-		return nil
-	case ModePush:
-		// transferTo: ship the whole prepared partition to a receiver in
-		// the aggregator set as soon as this mapper finishes.
-		dst := c.cfg.Aggregators[part%len(c.cfg.Aggregators)]
-		return c.workers[wid].push(c.workers[dst].addr, job.spec.ID, part, prepared, stats)
-	default:
-		return fmt.Errorf("livecluster: unknown mode %v", c.cfg.Mode)
-	}
-}
-
-// runReduceTask fetches one reducer's shards over TCP, aggregates, and
-// applies the post-shuffle chain.
-func (c *Cluster) runReduceTask(job *jobShape, r, numMaps int, stats *Stats) ([]rdd.Pair, error) {
-	var mu sync.Mutex
-	var gathered []rdd.Pair
-	var wg sync.WaitGroup
-	errs := make([]error, numMaps)
-	for m := 0; m < numMaps; m++ {
-		m := m
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			holder, err := c.findHolder(job.spec.ID, m)
-			if err != nil {
-				errs[m] = err
-				return
-			}
-			shard, err := fetchShard(holder, job.spec.ID, m, r, stats)
-			if err != nil {
-				errs[m] = err
-				return
-			}
-			mu.Lock()
-			gathered = append(gathered, shard...)
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	agg := rdd.ReduceAggregate(job.spec, gathered)
-	if job.shuffled.PostShuffle != nil {
-		agg = job.shuffled.PostShuffle(r, agg)
-	}
-	for _, node := range job.postChain {
-		agg = node.Narrow(r, agg)
-	}
-	return agg, nil
-}
-
-// findHolder locates the worker storing a map output partition.
-func (c *Cluster) findHolder(shuffleID, mapPart int) (string, error) {
+// resetJobState clears the previous job's shuffle metadata and stored map
+// outputs (shuffle IDs are graph-scoped, so leftovers could collide).
+func (c *Cluster) resetJobState() {
+	c.specs.Range(func(k, _ any) bool {
+		c.specs.Delete(k)
+		return true
+	})
 	for _, w := range c.workers {
-		if w.hasMapOutput(shuffleID, mapPart) {
-			return w.addr, nil
-		}
+		w.clearOutputs()
 	}
-	return "", fmt.Errorf("livecluster: no worker holds shuffle %d map %d", shuffleID, mapPart)
-}
-
-// jobShape is the analyzed MapReduce skeleton of a lineage.
-type jobShape struct {
-	mapTop    *rdd.RDD // last narrow RDD before the shuffle
-	spec      *rdd.ShuffleSpec
-	shuffled  *rdd.RDD   // the ShuffledRDD
-	postChain []*rdd.RDD // narrow nodes above the shuffle, bottom-up
-}
-
-// analyze validates that target is a single-shuffle job and splits it.
-func analyze(target *rdd.RDD) (*jobShape, error) {
-	if err := target.Validate(); err != nil {
-		return nil, err
-	}
-	var post []*rdd.RDD
-	n := target
-	for len(n.Deps) == 1 && n.Deps[0].Kind == rdd.DepNarrow {
-		if n.Transfer != nil {
-			return nil, errors.New("livecluster: transferTo lineage is expressed via Config.Mode, not the graph")
-		}
-		post = append([]*rdd.RDD{n}, post...)
-		n = n.Deps[0].Parent
-	}
-	if len(n.Deps) != 1 || n.Deps[0].Kind != rdd.DepShuffle {
-		return nil, errors.New("livecluster: job must contain exactly one shuffle (input → narrow* → shuffle → narrow*)")
-	}
-	spec := n.Deps[0].Shuffle
-	// The map side must be a pure narrow chain down to the inputs.
-	var check func(m *rdd.RDD) error
-	check = func(m *rdd.RDD) error {
-		if m.Transfer != nil {
-			return errors.New("livecluster: transferTo lineage is expressed via Config.Mode, not the graph")
-		}
-		for di := range m.Deps {
-			d := &m.Deps[di]
-			if d.Kind != rdd.DepNarrow {
-				return errors.New("livecluster: job must contain exactly one shuffle (input → narrow* → shuffle → narrow*)")
-			}
-			if err := check(d.Parent); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := check(n.Deps[0].Parent); err != nil {
-		return nil, err
-	}
-	if spec.SampleForRange && !spec.Partitioner.Ready() {
-		// Range partitioners need boundaries before mappers can bucket;
-		// sample the map-side output up front (Spark's sampling job).
-		prepareRange(n.Deps[0].Parent, spec)
-	}
-	return &jobShape{
-		mapTop:    n.Deps[0].Parent,
-		spec:      spec,
-		shuffled:  n,
-		postChain: post,
-	}, nil
-}
-
-func prepareRange(mapTop *rdd.RDD, spec *rdd.ShuffleSpec) {
-	var sample []string
-	for part := 0; part < mapTop.NumParts(); part++ {
-		records := evalNarrow(mapTop, part)
-		sample = append(sample, rdd.SampleKeys(records, 200)...)
-	}
-	spec.Partitioner.(*rdd.RangePartitioner).Prepare(sample)
-}
-
-// evalNarrow computes one partition of a narrow chain in memory.
-func evalNarrow(node *rdd.RDD, part int) []rdd.Pair {
-	if len(node.Deps) == 0 {
-		return node.Input[part].Records
-	}
-	var in []rdd.Pair
-	for di := range node.Deps {
-		d := &node.Deps[di]
-		for _, pi := range d.ParentParts(part) {
-			in = append(in, evalNarrow(d.Parent, pi)...)
-		}
-	}
-	return node.Narrow(part, in)
 }
 
 func registerGobTypes() {
@@ -384,6 +234,8 @@ func registerGobTypes() {
 	gob.Register([]rdd.Value{})
 	gob.Register([]string{})
 	gob.Register([]float64{})
+	gob.Register(rdd.Tagged{})
+	gob.Register([2][]rdd.Value{})
 }
 
 var gobOnce sync.Once

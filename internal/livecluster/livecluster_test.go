@@ -146,18 +146,30 @@ func TestSortByKeyOverTCP(t *testing.T) {
 	}
 }
 
-func TestRejectsMultiShuffleJobs(t *testing.T) {
-	g := rdd.NewGraph()
-	in := g.Input("in", []rdd.InputPartition{{Host: 0, ModeledBytes: 1, Records: []rdd.Pair{rdd.KV("a", 1)}}})
-	two := in.ReduceByKey("r1", 2, func(a, b rdd.Value) rdd.Value { return a }).
-		GroupByKey("r2", 2)
+func TestMultiShuffleJobsSupported(t *testing.T) {
+	// The old single-shuffle restriction is gone: chained shuffles plan
+	// and run like any simulator job.
+	build := func() *rdd.RDD {
+		g := rdd.NewGraph()
+		in := g.Input("in", []rdd.InputPartition{
+			{Host: 0, ModeledBytes: 1, Records: []rdd.Pair{rdd.KV("a", 1), rdd.KV("b", 2)}},
+			{Host: 1, ModeledBytes: 1, Records: []rdd.Pair{rdd.KV("a", 3), rdd.KV("c", 4)}},
+		})
+		return in.ReduceByKey("r1", 2, func(a, b rdd.Value) rdd.Value { return a.(int) + b.(int) }).
+			GroupByKey("r2", 2)
+	}
+	want := canon(rdd.CollectLocal(build()))
 	cluster, err := New(Config{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cluster.Close()
-	if _, _, err := cluster.Run(two); err == nil {
-		t.Fatal("multi-shuffle job accepted")
+	out, _, err := cluster.Run(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon(out) != want {
+		t.Fatal("two-shuffle job diverges from reference")
 	}
 }
 

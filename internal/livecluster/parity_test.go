@@ -1,0 +1,66 @@
+package livecluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wanshuffle/internal/dag"
+	"wanshuffle/internal/exec"
+	"wanshuffle/internal/rdd"
+	"wanshuffle/internal/topology"
+)
+
+// TestSimulatorAndLiveClusterAgree drives seeded random lineages through
+// the discrete-event simulator and the live TCP cluster — both consuming
+// the same shared plan — and requires identical sorted outputs, which must
+// also equal the in-memory reference. Each backend gets a freshly built
+// lineage because evaluation mutates range-partitioner state.
+func TestSimulatorAndLiveClusterAgree(t *testing.T) {
+	topo := topology.SixRegionEC2()
+	f := func(seedRaw uint16) bool {
+		seed := int64(seedRaw)
+		want := canon(rdd.CollectLocal(rdd.RandomLineage(seed, rdd.NewGraph(), topo.Workers())))
+
+		for _, sim := range []struct {
+			name string
+			agg  bool
+		}{{"spark", false}, {"aggshuffle", true}} {
+			job := rdd.RandomLineage(seed, rdd.NewGraph(), topo.Workers())
+			if sim.agg {
+				dag.AutoAggregate(job)
+			}
+			eng := exec.New(topo, seed+1, exec.Config{})
+			res, err := eng.Run(job, exec.ActionSave, exec.RunOptions{})
+			if err != nil {
+				t.Logf("seed %d sim/%s: %v", seed, sim.name, err)
+				return false
+			}
+			if canon(res.Records) != want {
+				t.Logf("seed %d sim/%s diverges from reference", seed, sim.name)
+				return false
+			}
+		}
+
+		for _, mode := range []Mode{ModeFetch, ModePush} {
+			cluster, err := New(Config{Workers: 4, Mode: mode})
+			if err != nil {
+				t.Logf("seed %d live/%v: %v", seed, mode, err)
+				return false
+			}
+			out, _, err := cluster.Run(rdd.RandomLineage(seed, rdd.NewGraph(), topo.Workers()))
+			cluster.Close()
+			if err != nil {
+				t.Logf("seed %d live/%v: %v", seed, mode, err)
+				return false
+			}
+			if canon(out) != want {
+				t.Logf("seed %d live/%v diverges from simulator/reference", seed, mode)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

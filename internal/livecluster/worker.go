@@ -4,7 +4,6 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -12,13 +11,17 @@ import (
 	"wanshuffle/internal/rdd"
 )
 
-// wire messages. One request per connection, gob-framed.
+// Wire protocol: gob-framed request/response pairs multiplexed over
+// persistent connections. A client checks a connection out of its pool,
+// runs one exchange, and returns it; the server loops decoding requests on
+// each accepted connection until the peer closes it.
 
 type requestKind int
 
 const (
 	reqPush requestKind = iota + 1
 	reqFetch
+	reqSample
 )
 
 type request struct {
@@ -26,26 +29,30 @@ type request struct {
 	ShuffleID int
 	MapPart   int
 	Reduce    int
+	Max       int
 	Records   []rdd.Pair
 }
 
 type response struct {
 	Err     string
 	Records []rdd.Pair
+	Keys    []string
 }
 
 type outKey struct{ shuffle, mapPart int }
 
 // worker is one live cluster member: a loopback TCP server storing map
-// output, plus a client side for pushes and fetches.
+// output, plus a pooled client side for pushes and fetches to peers.
 type worker struct {
 	id      int
 	addr    string
 	ln      net.Listener
 	cluster *Cluster
+	pool    poolSet
 
 	mu     sync.Mutex
 	mapOut map[outKey][]rdd.Pair
+	conns  map[net.Conn]bool // open server-side connections
 
 	closed  atomic.Bool
 	serveWG sync.WaitGroup
@@ -63,6 +70,7 @@ func newWorker(id int, c *Cluster) (*worker, error) {
 		ln:      ln,
 		cluster: c,
 		mapOut:  make(map[outKey][]rdd.Pair),
+		conns:   make(map[net.Conn]bool),
 	}
 	w.serveWG.Add(1)
 	go w.serve()
@@ -72,6 +80,13 @@ func newWorker(id int, c *Cluster) (*worker, error) {
 func (w *worker) close() {
 	if w.closed.CompareAndSwap(false, true) {
 		_ = w.ln.Close()
+		w.pool.closeAll()
+		// Unblock handlers parked in Decode on persistent connections.
+		w.mu.Lock()
+		for conn := range w.conns {
+			_ = conn.Close()
+		}
+		w.mu.Unlock()
 	}
 	w.serveWG.Wait()
 }
@@ -85,23 +100,42 @@ func (w *worker) serve() {
 		if err != nil {
 			return // listener closed
 		}
+		w.mu.Lock()
+		w.conns[conn] = true
+		w.mu.Unlock()
 		connWG.Add(1)
 		go func() {
 			defer connWG.Done()
-			defer func() { _ = conn.Close() }()
-			w.handle(conn)
+			defer func() {
+				w.mu.Lock()
+				delete(w.conns, conn)
+				w.mu.Unlock()
+				_ = conn.Close()
+			}()
+			w.handleConn(conn)
 		}()
 	}
 }
 
-func (w *worker) handle(conn net.Conn) {
+// handleConn serves requests on one persistent connection until the peer
+// hangs up.
+func (w *worker) handleConn(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
-	var req request
-	if err := dec.Decode(&req); err != nil {
-		return
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := w.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
 	}
-	var resp response
+}
+
+func (w *worker) handle(req *request) *response {
+	resp := &response{}
 	switch req.Kind {
 	case reqPush:
 		w.storeMapOutput(req.ShuffleID, req.MapPart, req.Records)
@@ -112,10 +146,17 @@ func (w *worker) handle(conn net.Conn) {
 		} else {
 			resp.Records = records
 		}
+	case reqSample:
+		records, err := w.stored(req.ShuffleID, req.MapPart)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Keys = rdd.SampleKeys(records, req.Max)
+		}
 	default:
 		resp.Err = fmt.Sprintf("unknown request kind %d", req.Kind)
 	}
-	_ = enc.Encode(&resp)
+	return resp
 }
 
 func (w *worker) storeMapOutput(shuffleID, mapPart int, records []rdd.Pair) {
@@ -124,11 +165,10 @@ func (w *worker) storeMapOutput(shuffleID, mapPart int, records []rdd.Pair) {
 	w.mapOut[outKey{shuffleID, mapPart}] = records
 }
 
-func (w *worker) hasMapOutput(shuffleID, mapPart int) bool {
+func (w *worker) clearOutputs() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	_, ok := w.mapOut[outKey{shuffleID, mapPart}]
-	return ok
+	w.mapOut = make(map[outKey][]rdd.Pair)
 }
 
 func (w *worker) storedOutputs() int {
@@ -137,14 +177,22 @@ func (w *worker) storedOutputs() int {
 	return len(w.mapOut)
 }
 
+func (w *worker) stored(shuffleID, mapPart int) ([]rdd.Pair, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	records, ok := w.mapOut[outKey{shuffleID, mapPart}]
+	if !ok {
+		return nil, fmt.Errorf("worker %d: no output for shuffle %d map %d", w.id, shuffleID, mapPart)
+	}
+	return records, nil
+}
+
 // shard buckets a stored map output for one reducer, using the shuffle
 // spec from the cluster's control plane.
 func (w *worker) shard(shuffleID, mapPart, reduce int) ([]rdd.Pair, error) {
-	w.mu.Lock()
-	records, ok := w.mapOut[outKey{shuffleID, mapPart}]
-	w.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("worker %d: no output for shuffle %d map %d", w.id, shuffleID, mapPart)
+	records, err := w.stored(shuffleID, mapPart)
+	if err != nil {
+		return nil, err
 	}
 	specAny, ok := w.cluster.specs.Load(shuffleID)
 	if !ok {
@@ -160,53 +208,134 @@ func (w *worker) shard(shuffleID, mapPart, reduce int) ([]rdd.Pair, error) {
 
 // push ships a map output partition to a receiver worker over TCP.
 func (w *worker) push(addr string, shuffleID, mapPart int, records []rdd.Pair, stats *Stats) error {
-	resp, n, err := call(addr, request{
+	resp, err := w.pool.call(addr, request{
 		Kind: reqPush, ShuffleID: shuffleID, MapPart: mapPart, Records: records,
-	})
+	}, stats)
 	if err != nil {
 		return fmt.Errorf("livecluster: push %d/%d to %s: %w", shuffleID, mapPart, addr, err)
 	}
 	if resp.Err != "" {
 		return errors.New(resp.Err)
 	}
-	atomic.AddInt64(&stats.BytesOverTCP, n)
 	atomic.AddInt64(&stats.PushConnections, 1)
 	return nil
 }
 
-// fetchShard pulls one (map, reduce) shard from its holder over TCP.
-func fetchShard(addr string, shuffleID, mapPart, reduce int, stats *Stats) ([]rdd.Pair, error) {
-	resp, n, err := call(addr, request{
+// fetch pulls one (map, reduce) shard from its holder over TCP.
+func (w *worker) fetch(addr string, shuffleID, mapPart, reduce int, stats *Stats) ([]rdd.Pair, error) {
+	resp, err := w.pool.call(addr, request{
 		Kind: reqFetch, ShuffleID: shuffleID, MapPart: mapPart, Reduce: reduce,
-	})
+	}, stats)
 	if err != nil {
 		return nil, fmt.Errorf("livecluster: fetch %d/%d/%d from %s: %w", shuffleID, mapPart, reduce, addr, err)
 	}
 	if resp.Err != "" {
 		return nil, errors.New(resp.Err)
 	}
-	atomic.AddInt64(&stats.BytesOverTCP, n)
 	atomic.AddInt64(&stats.FetchConnections, 1)
 	return resp.Records, nil
 }
 
-// call performs one request/response exchange on a fresh connection and
-// reports the bytes that crossed the socket.
-func call(addr string, req request) (response, int64, error) {
+// sampleKeys asks a holder for a key sample of one stored map output, on
+// the driver's own connection pool.
+func (c *Cluster) sampleKeys(addr string, shuffleID, mapPart, max int, stats *Stats) ([]string, error) {
+	resp, err := c.pool.call(addr, request{
+		Kind: reqSample, ShuffleID: shuffleID, MapPart: mapPart, Max: max,
+	}, stats)
+	if err != nil {
+		return nil, fmt.Errorf("livecluster: sample %d/%d from %s: %w", shuffleID, mapPart, addr, err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	atomic.AddInt64(&stats.SampleRequests, 1)
+	return resp.Keys, nil
+}
+
+// pooledConn is one persistent client connection with its sticky gob
+// codecs (gob streams carry type state, so codecs must live as long as the
+// connection).
+type pooledConn struct {
+	conn *countingConn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func (pc *pooledConn) close() { _ = pc.conn.Close() }
+
+// poolSet pools client connections per remote address. The zero value is
+// ready to use.
+type poolSet struct {
+	mu   sync.Mutex
+	idle map[string][]*pooledConn
+}
+
+// get checks a connection to addr out of the pool, dialing a fresh one
+// (counted in stats.Dials) when none is idle.
+func (ps *poolSet) get(addr string, stats *Stats) (*pooledConn, error) {
+	ps.mu.Lock()
+	if n := len(ps.idle[addr]); n > 0 {
+		pc := ps.idle[addr][n-1]
+		ps.idle[addr] = ps.idle[addr][:n-1]
+		ps.mu.Unlock()
+		return pc, nil
+	}
+	ps.mu.Unlock()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return response{}, 0, err
+		return nil, err
 	}
-	defer func() { _ = conn.Close() }()
+	if stats != nil {
+		atomic.AddInt64(&stats.Dials, 1)
+	}
 	cw := &countingConn{Conn: conn}
-	if err := gob.NewEncoder(cw).Encode(&req); err != nil {
-		return response{}, 0, err
+	return &pooledConn{conn: cw, enc: gob.NewEncoder(cw), dec: gob.NewDecoder(cw)}, nil
+}
+
+// put returns a healthy connection to the pool.
+func (ps *poolSet) put(addr string, pc *pooledConn) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.idle == nil {
+		ps.idle = make(map[string][]*pooledConn)
+	}
+	ps.idle[addr] = append(ps.idle[addr], pc)
+}
+
+// call runs one request/response exchange on a pooled connection and
+// accounts the bytes that crossed the socket. Connections that error are
+// dropped, not pooled.
+func (ps *poolSet) call(addr string, req request, stats *Stats) (response, error) {
+	pc, err := ps.get(addr, stats)
+	if err != nil {
+		return response{}, err
+	}
+	before := pc.conn.bytes.Load()
+	if err := pc.enc.Encode(&req); err != nil {
+		pc.close()
+		return response{}, err
 	}
 	var resp response
-	if err := gob.NewDecoder(cw).Decode(&resp); err != nil && err != io.EOF {
-		return response{}, 0, err
+	if err := pc.dec.Decode(&resp); err != nil {
+		pc.close()
+		return response{}, err
 	}
-	return resp, cw.bytes.Load(), nil
+	if stats != nil {
+		atomic.AddInt64(&stats.BytesOverTCP, pc.conn.bytes.Load()-before)
+	}
+	ps.put(addr, pc)
+	return resp, nil
+}
+
+func (ps *poolSet) closeAll() {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for _, conns := range ps.idle {
+		for _, pc := range conns {
+			pc.close()
+		}
+	}
+	ps.idle = nil
 }
 
 // countingConn counts payload bytes in both directions.

@@ -1,0 +1,261 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wanshuffle/internal/dag"
+	"wanshuffle/internal/rdd"
+	"wanshuffle/internal/shuffle"
+	"wanshuffle/internal/topology"
+)
+
+// Backend is the execution substrate the Driver runs a planned job on. A
+// backend owns a set of integer-indexed task sites (workers for the live
+// cluster, whatever a future substrate provides), runs tasks at sites,
+// moves shuffle bytes between them, and observes stage spans.
+//
+// The contract mirrors the issue the planner solves for the simulator too:
+// run task, move bytes, report span. Data-plane details (TCP, memory) stay
+// entirely inside the backend; record semantics come from EvalStagePart so
+// every backend agrees with rdd.EvalLocal.
+type Backend interface {
+	// NumSites returns the number of task sites.
+	NumSites() int
+
+	// SiteOfHost maps a lineage host (input-partition placement) to a
+	// site, for map-task locality and input-share accounting.
+	SiteOfHost(h topology.HostID) int
+
+	// InputSizes reports stage st's input bytes per site: leaf input
+	// partitions plus the measured sizes of the map outputs feeding the
+	// stage's shuffle boundaries. It feeds shuffle.BestAggregator.
+	InputSizes(st *dag.Stage) []float64
+
+	// RunMapTask computes map partition part of st at site, applies
+	// map-side preparation for st.OutSpec, and stores the prepared
+	// output — pushed to site aggTo the moment the task finishes when
+	// aggTo >= 0 (the paper's transferTo), kept local otherwise.
+	RunMapTask(st *dag.Stage, part, site, aggTo int) error
+
+	// RunResultTask computes result-stage partition part at site and
+	// returns its records.
+	RunResultTask(st *dag.Stage, part, site int) ([]rdd.Pair, error)
+
+	// Barrier runs once every task of a completed map stage finished:
+	// finalize the stage's shuffle (e.g. prepare a sampled range
+	// partitioner) before any consumer reads it.
+	Barrier(st *dag.Stage) error
+
+	// StageDone reports a completed stage's execution window.
+	StageDone(span StageSpan)
+}
+
+// DriverConfig tunes one driven job.
+type DriverConfig struct {
+	// Aggregate enables Push/Aggregate: each map stage's output is pushed
+	// to an aggregator site as tasks finish, instead of staying scattered
+	// for fetch-based reads.
+	Aggregate bool
+	// Aggregators pins the aggregator sites explicitly (the analogue of
+	// TransferTo(dc)). Empty means automatic per-shuffle selection via
+	// shuffle.BestAggregator over Backend.InputSizes — measured map-output
+	// sizes for every shuffle past the first (the analogue of
+	// TransferToAuto).
+	Aggregators []int
+	// Locality places leaf map tasks at the site of their input
+	// partition's host (via SiteOfHost). Leave it off for backends whose
+	// input ships from the driver rather than residing on workers — tasks
+	// then round-robin over sites.
+	Locality bool
+	// SiteSlots bounds concurrent tasks per site. Default 2.
+	SiteSlots int
+	// Retry is the per-task attempt budget.
+	Retry Retry
+}
+
+// Driver executes a planned job stage-by-stage over a Backend: topological
+// stage order, per-shuffle aggregator selection, receiver/reducer
+// placement, bounded task concurrency, and retry bookkeeping all live
+// here — backends only run tasks and move bytes.
+type Driver struct {
+	job *Job
+	be  Backend
+	cfg DriverConfig
+
+	sems  []chan struct{}
+	start time.Time
+
+	mu sync.Mutex
+	// aggSites records, per shuffle ID, the sites its map output was
+	// aggregated into (nil entry = scattered, fetch-based).
+	aggSites map[int][]int
+}
+
+// NewDriver prepares a driver; Run may be called once.
+func NewDriver(job *Job, be Backend, cfg DriverConfig) *Driver {
+	if cfg.SiteSlots <= 0 {
+		cfg.SiteSlots = 2
+	}
+	return &Driver{job: job, be: be, cfg: cfg, aggSites: map[int][]int{}}
+}
+
+// AggregatedTo returns the sites a shuffle's output was aggregated into
+// (nil when the shuffle stayed scattered).
+func (d *Driver) AggregatedTo(shuffleID int) []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.aggSites[shuffleID]
+}
+
+// Run executes every stage and returns the result stage's partitions.
+func (d *Driver) Run() ([][]rdd.Pair, error) {
+	for _, st := range d.job.Stages() {
+		if len(st.Phases) != 1 {
+			return nil, fmt.Errorf("plan: stage %s carries transferTo phases; push/aggregate is driven by the backend's aggregation mode, not the lineage", st.Name())
+		}
+	}
+	n := d.be.NumSites()
+	if n <= 0 {
+		return nil, fmt.Errorf("plan: backend has no task sites")
+	}
+	d.sems = make([]chan struct{}, n)
+	for i := range d.sems {
+		d.sems[i] = make(chan struct{}, d.cfg.SiteSlots)
+	}
+	d.start = time.Now()
+
+	var final [][]rdd.Pair
+	for _, st := range d.job.Stages() {
+		out, err := d.runStage(st)
+		if err != nil {
+			return nil, err
+		}
+		if st == d.job.Final() {
+			final = out
+		}
+	}
+	return final, nil
+}
+
+func (d *Driver) now() float64 { return time.Since(d.start).Seconds() }
+
+// runStage fans the stage's tasks out over the backend's sites, honors the
+// aggregation mode, and finalizes the stage's shuffle at the barrier.
+func (d *Driver) runStage(st *dag.Stage) ([][]rdd.Pair, error) {
+	spanStart := d.now()
+	agg := d.resolveAggregators(st)
+
+	errs := make([]error, st.NumTasks)
+	var results [][]rdd.Pair
+	if st.OutSpec == nil {
+		results = make([][]rdd.Pair, st.NumTasks)
+	}
+	var wg sync.WaitGroup
+	for part := 0; part < st.NumTasks; part++ {
+		part := part
+		site := d.placeTask(st, part)
+		aggTo := -1
+		if len(agg) > 0 {
+			aggTo = SpreadTopK(agg, len(agg), part)
+		}
+		wg.Add(1)
+		d.sems[site] <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-d.sems[site] }()
+			errs[part] = d.attempt(st, part, func() error {
+				if st.OutSpec != nil {
+					return d.be.RunMapTask(st, part, site, aggTo)
+				}
+				recs, err := d.be.RunResultTask(st, part, site)
+				results[part] = recs
+				return err
+			})
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if st.OutSpec != nil {
+		if err := d.be.Barrier(st); err != nil {
+			return nil, err
+		}
+	}
+	d.be.StageDone(StageSpan{ID: st.ID, Name: st.Name(), Start: spanStart, End: d.now()})
+	return results, nil
+}
+
+// resolveAggregators picks the stage's aggregator sites: the explicit
+// override when configured, otherwise the site holding the largest share
+// of the stage's input — Eq. (2) via shuffle.BestAggregator, fed by actual
+// map-output sizes for every shuffle input (Sec. III-B / IV-D).
+func (d *Driver) resolveAggregators(st *dag.Stage) []int {
+	if st.OutSpec == nil || !d.cfg.Aggregate {
+		return nil
+	}
+	agg := d.cfg.Aggregators
+	if len(agg) == 0 {
+		best, _ := shuffle.BestAggregator(d.be.InputSizes(st))
+		agg = []int{best}
+	}
+	d.mu.Lock()
+	d.aggSites[st.OutSpec.ID] = agg
+	d.mu.Unlock()
+	return agg
+}
+
+// placeTask places one task: shuffle-reading tasks follow aggregated input
+// (the paper's preferredLocations restricted to the aggregator), leaf
+// tasks follow their input partition's host, everything else round-robins.
+func (d *Driver) placeTask(st *dag.Stage, part int) int {
+	if len(st.Boundaries) > 0 {
+		if sites := d.boundarySites(st); len(sites) > 0 {
+			return sites[part%len(sites)]
+		}
+		return part % d.be.NumSites()
+	}
+	if d.cfg.Locality {
+		if h, ok := HomeHost(st, part); ok {
+			return d.be.SiteOfHost(h)
+		}
+	}
+	return part % d.be.NumSites()
+}
+
+// boundarySites returns the aggregator sites of the stage's shuffle inputs
+// when every one of them was aggregated; nil otherwise.
+func (d *Driver) boundarySites(st *dag.Stage) []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var sites []int
+	for _, b := range st.Boundaries {
+		for di := range b.Deps {
+			s, ok := d.aggSites[b.Deps[di].Shuffle.ID]
+			if !ok || len(s) == 0 {
+				return nil
+			}
+			if sites == nil {
+				sites = s
+			}
+		}
+	}
+	return sites
+}
+
+// attempt runs one task against the retry budget.
+func (d *Driver) attempt(st *dag.Stage, part int, run func() error) error {
+	for att := 1; ; att++ {
+		err := run()
+		if err == nil {
+			return nil
+		}
+		if !d.cfg.Retry.Allow(att + 1) {
+			return fmt.Errorf("plan: task %s/t%d failed after %d attempt(s): %w", st.Name(), part, att, err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package plan
+
+import (
+	"fmt"
+
+	"wanshuffle/internal/dag"
+	"wanshuffle/internal/rdd"
+	"wanshuffle/internal/topology"
+)
+
+// ShuffleReader supplies a task's shuffle input: the gathered records of
+// one reduce partition of one shuffle (every map output's shard for that
+// partition, concatenated in map order). Backends implement it over their
+// data plane — TCP fetches for the live cluster, in-memory shard lookups
+// for MemBackend.
+type ShuffleReader func(spec *rdd.ShuffleSpec, reducePart int) ([]rdd.Pair, error)
+
+// EvalStagePart computes output partition part of a single-phase stage,
+// reading shuffle boundaries through read. The record semantics — narrow
+// chains, dependency mappings, reduce-side aggregation, post-shuffle
+// transforms — are exactly those of rdd.EvalLocal, so every backend built
+// on this evaluator agrees with the in-memory reference by construction.
+func EvalStagePart(st *dag.Stage, part int, read ShuffleReader) ([]rdd.Pair, error) {
+	if len(st.Phases) != 1 {
+		return nil, fmt.Errorf("plan: stage %s has %d phases; EvalStagePart handles single-phase stages", st.Name(), len(st.Phases))
+	}
+	return evalPart(st.Phases[0].Top, part, read)
+}
+
+func evalPart(node *rdd.RDD, part int, read ShuffleReader) ([]rdd.Pair, error) {
+	if len(node.Deps) == 0 {
+		return node.Input[part].Records, nil
+	}
+	if node.Deps[0].Kind == rdd.DepShuffle {
+		// A shuffle boundary: gather every dep's shard for this partition,
+		// then apply the reduce-side semantics once (cogroup deps agree on
+		// aggregation, as in rdd.EvalLocal).
+		var recs []rdd.Pair
+		for di := range node.Deps {
+			shard, err := read(node.Deps[di].Shuffle, part)
+			if err != nil {
+				return nil, err
+			}
+			recs = append(recs, shard...)
+		}
+		agg := rdd.ReduceAggregate(node.Deps[0].Shuffle, recs)
+		if node.PostShuffle != nil {
+			agg = node.PostShuffle(part, agg)
+		}
+		return agg, nil
+	}
+	var in []rdd.Pair
+	for di := range node.Deps {
+		d := &node.Deps[di]
+		for _, pi := range d.ParentParts(part) {
+			pr, err := evalPart(d.Parent, pi, read)
+			if err != nil {
+				return nil, err
+			}
+			in = append(in, pr...)
+		}
+	}
+	return node.Narrow(part, in), nil
+}
+
+// HomeHost returns the host of the first leaf input partition feeding
+// partition part of the stage — the task's natural placement hint — or
+// false when the partition's input comes from shuffles only.
+func HomeHost(st *dag.Stage, part int) (topology.HostID, bool) {
+	if len(st.Phases) == 0 {
+		return 0, false
+	}
+	return homeHost(st.Phases[0].Top, part)
+}
+
+func homeHost(node *rdd.RDD, part int) (topology.HostID, bool) {
+	if len(node.Deps) == 0 {
+		return node.Input[part].Host, true
+	}
+	if node.Deps[0].Kind == rdd.DepShuffle {
+		return 0, false
+	}
+	for di := range node.Deps {
+		d := &node.Deps[di]
+		for _, pi := range d.ParentParts(part) {
+			if h, ok := homeHost(d.Parent, pi); ok {
+				return h, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,149 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+
+	"wanshuffle/internal/dag"
+	"wanshuffle/internal/rdd"
+	"wanshuffle/internal/topology"
+)
+
+// memOutput is one map task's prepared output held at a site.
+type memOutput struct {
+	records []rdd.Pair
+	bytes   float64
+	site    int
+	done    bool
+}
+
+// MemBackend is the in-memory reference Backend: tasks run inline, shuffle
+// bytes "move" by recording which site holds each map output. It exists to
+// test the Driver's planning, placement, and aggregation decisions without
+// a network, and as the template for real backends.
+type MemBackend struct {
+	Sites int
+
+	mu      sync.Mutex
+	outputs map[int][]memOutput // shuffle ID -> per-map-part output
+	spans   []StageSpan
+}
+
+// NewMemBackend creates a backend with the given number of sites.
+func NewMemBackend(sites int) *MemBackend {
+	return &MemBackend{Sites: sites, outputs: map[int][]memOutput{}}
+}
+
+// NumSites implements Backend.
+func (b *MemBackend) NumSites() int { return b.Sites }
+
+// SiteOfHost implements Backend: hosts wrap onto sites round-robin.
+func (b *MemBackend) SiteOfHost(h topology.HostID) int { return int(h) % b.Sites }
+
+// Spans returns the stage spans reported so far.
+func (b *MemBackend) Spans() []StageSpan {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]StageSpan(nil), b.spans...)
+}
+
+// HolderSites returns which site holds each map output of a shuffle.
+func (b *MemBackend) HolderSites(shuffleID int) []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	outs := b.outputs[shuffleID]
+	sites := make([]int, len(outs))
+	for i, o := range outs {
+		sites[i] = o.site
+	}
+	return sites
+}
+
+// InputSizes implements Backend: leaf partition bytes at their home sites
+// plus measured map-output bytes at their holder sites.
+func (b *MemBackend) InputSizes(st *dag.Stage) []float64 {
+	bySite := make([]float64, b.Sites)
+	for _, src := range st.Sources {
+		for _, p := range src.Input {
+			bySite[b.SiteOfHost(p.Host)] += rdd.SizeOfAll(p.Records)
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, bd := range st.Boundaries {
+		for di := range bd.Deps {
+			for _, out := range b.outputs[bd.Deps[di].Shuffle.ID] {
+				bySite[out.site] += out.bytes
+			}
+		}
+	}
+	return bySite
+}
+
+// RunMapTask implements Backend: evaluate the partition, prepare it for the
+// stage's shuffle, and store it at aggTo (pushed) or site (kept local).
+func (b *MemBackend) RunMapTask(st *dag.Stage, part, site, aggTo int) error {
+	recs, err := EvalStagePart(st, part, b.read)
+	if err != nil {
+		return err
+	}
+	prepared := rdd.MapSidePrepare(st.OutSpec, recs)
+	holder := site
+	if aggTo >= 0 {
+		holder = aggTo
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	outs := b.outputs[st.OutSpec.ID]
+	if outs == nil {
+		outs = make([]memOutput, st.NumTasks)
+		b.outputs[st.OutSpec.ID] = outs
+	}
+	outs[part] = memOutput{records: prepared, bytes: rdd.SizeOfAll(prepared), site: holder, done: true}
+	return nil
+}
+
+// RunResultTask implements Backend.
+func (b *MemBackend) RunResultTask(st *dag.Stage, part, site int) ([]rdd.Pair, error) {
+	return EvalStagePart(st, part, b.read)
+}
+
+// Barrier implements Backend: prepare a range partitioner from keys sampled
+// across the finished map outputs, like the engine's map-stage barrier.
+func (b *MemBackend) Barrier(st *dag.Stage) error {
+	spec := st.OutSpec
+	if !spec.SampleForRange || spec.Partitioner.Ready() {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var sample []string
+	for _, out := range b.outputs[spec.ID] {
+		sample = append(sample, rdd.SampleKeys(out.records, 1000)...)
+	}
+	spec.Partitioner.(*rdd.RangePartitioner).Prepare(sample)
+	return nil
+}
+
+// StageDone implements Backend.
+func (b *MemBackend) StageDone(span StageSpan) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.spans = append(b.spans, span)
+}
+
+// read gathers one reduce partition's shard from every map output, in map
+// order.
+func (b *MemBackend) read(spec *rdd.ShuffleSpec, reducePart int) ([]rdd.Pair, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	outs := b.outputs[spec.ID]
+	var recs []rdd.Pair
+	for part, out := range outs {
+		if !out.done {
+			return nil, fmt.Errorf("plan: shuffle %d map output %d missing", spec.ID, part)
+		}
+		recs = append(recs, rdd.BucketRecords(spec, out.records)[reducePart]...)
+	}
+	return recs, nil
+}

@@ -1,0 +1,71 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"wanshuffle/internal/shuffle"
+)
+
+// AggregatorPolicy selects the automatic-aggregation rule (ablations of
+// the paper's Sec. III-B analysis). It is shared by both backends so that
+// ablation experiments mean the same thing everywhere.
+type AggregatorPolicy int
+
+// Aggregator policies.
+const (
+	// AggregatorBest picks the site with the largest input share — the
+	// paper's rule (Eq. 2 optimum).
+	AggregatorBest AggregatorPolicy = iota
+	// AggregatorRandom picks a seeded random site.
+	AggregatorRandom
+	// AggregatorWorst picks the site with the smallest input share (the
+	// Eq. 2 pessimum), bounding how much the selection rule matters.
+	AggregatorWorst
+)
+
+// Rank orders sites (datacenters for the simulator, workers for the live
+// cluster) for automatic aggregation under policy, given the input bytes
+// each site holds. The ranking is built by repeatedly extracting
+// shuffle.BestAggregator's choice, so the head of a Best-policy rank is
+// literally the Eq. (2) optimum; ties break toward the lowest site index.
+// shuffleFn (required only for AggregatorRandom) permutes the rank with the
+// backend's seeded RNG.
+func Rank[S ~int](bySite []float64, policy AggregatorPolicy, shuffleFn func(n int, swap func(i, j int))) []S {
+	rank := make([]S, len(bySite))
+	remaining := append([]float64(nil), bySite...)
+	for i := range rank {
+		best, _ := shuffle.BestAggregator(remaining)
+		rank[i] = S(best)
+		remaining[best] = math.Inf(-1)
+	}
+	switch policy {
+	case AggregatorBest:
+		// Largest input share first (Eq. 2).
+	case AggregatorWorst:
+		for i, j := 0, len(rank)-1; i < j; i, j = i+1, j-1 {
+			rank[i], rank[j] = rank[j], rank[i]
+		}
+	case AggregatorRandom:
+		if shuffleFn == nil {
+			panic("plan: AggregatorRandom needs a shuffle function")
+		}
+		shuffleFn(len(rank), func(i, j int) { rank[i], rank[j] = rank[j], rank[i] })
+	default:
+		panic(fmt.Sprintf("plan: unknown aggregator policy %d", policy))
+	}
+	return rank
+}
+
+// SpreadTopK spreads partition part round-robin over the top-k ranked
+// sites (Sec. III-B's "subset of datacenters" generalization); k outside
+// [1, len(rank)] is clamped.
+func SpreadTopK[S ~int](rank []S, k, part int) S {
+	if k < 1 {
+		k = 1
+	}
+	if k > len(rank) {
+		k = len(rank)
+	}
+	return rank[part%k]
+}

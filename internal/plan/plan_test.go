@@ -1,0 +1,257 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wanshuffle/internal/dag"
+	"wanshuffle/internal/rdd"
+	"wanshuffle/internal/shuffle"
+	"wanshuffle/internal/topology"
+)
+
+func TestRankBestHeadIsBestAggregator(t *testing.T) {
+	bySite := []float64{10, 50, 20, 50, 5}
+	rank := Rank[int](bySite, AggregatorBest, nil)
+	best, _ := shuffle.BestAggregator(bySite)
+	if rank[0] != best {
+		t.Fatalf("rank head %d != BestAggregator %d", rank[0], best)
+	}
+	if got, want := fmt.Sprint(rank), "[1 3 2 0 4]"; got != want {
+		t.Fatalf("rank = %v, want %v (descending, ties to lowest index)", got, want)
+	}
+}
+
+func TestRankWorstReversesBest(t *testing.T) {
+	bySite := []float64{10, 50, 20}
+	best := Rank[int](bySite, AggregatorBest, nil)
+	worst := Rank[int](bySite, AggregatorWorst, nil)
+	for i := range best {
+		if worst[i] != best[len(best)-1-i] {
+			t.Fatalf("worst %v is not best %v reversed", worst, best)
+		}
+	}
+}
+
+func TestRankRandomUsesShuffleFn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rank := Rank[int](make([]float64, 8), AggregatorRandom, rng.Shuffle)
+	seen := map[int]bool{}
+	for _, s := range rank {
+		seen[s] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("random rank %v is not a permutation", rank)
+	}
+}
+
+func TestRankPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("random without shuffleFn", func() { Rank[int]([]float64{1}, AggregatorRandom, nil) })
+	expectPanic("unknown policy", func() { Rank[int]([]float64{1}, AggregatorPolicy(99), nil) })
+}
+
+func TestSpreadTopKClamps(t *testing.T) {
+	rank := []int{4, 2, 7}
+	if got := SpreadTopK(rank, 0, 5); got != 4 {
+		t.Fatalf("k=0 should clamp to 1, got site %d", got)
+	}
+	if got := SpreadTopK(rank, 99, 4); got != rank[4%3] {
+		t.Fatalf("k>len should clamp to len, got site %d", got)
+	}
+	if got := SpreadTopK(rank, 2, 3); got != rank[1] {
+		t.Fatalf("round-robin over top-2 broken, got site %d", got)
+	}
+}
+
+func TestRetryBudget(t *testing.T) {
+	r := Retry{}
+	if r.Limit() != DefaultMaxAttempts {
+		t.Fatalf("zero Retry limit = %d", r.Limit())
+	}
+	if !r.Allow(DefaultMaxAttempts) || r.Allow(DefaultMaxAttempts+1) {
+		t.Fatal("default budget boundary wrong")
+	}
+	r = Retry{Max: 1}
+	if !r.Allow(1) || r.Allow(2) {
+		t.Fatal("Max=1 budget boundary wrong")
+	}
+}
+
+func canon(records []rdd.Pair) string {
+	cp := make([]rdd.Pair, len(records))
+	copy(cp, records)
+	sort.Slice(cp, func(i, j int) bool {
+		if cp[i].Key != cp[j].Key {
+			return cp[i].Key < cp[j].Key
+		}
+		return fmt.Sprint(cp[i].Value) < fmt.Sprint(cp[j].Value)
+	})
+	var b strings.Builder
+	for _, p := range cp {
+		fmt.Fprintf(&b, "%s=%v;", p.Key, p.Value)
+	}
+	return b.String()
+}
+
+func hosts(n int) []topology.HostID {
+	out := make([]topology.HostID, n)
+	for i := range out {
+		out[i] = topology.HostID(i)
+	}
+	return out
+}
+
+// runMem drives a job over a MemBackend and flattens the result.
+func runMem(t *testing.T, target *rdd.RDD, cfg DriverConfig, sites int) ([]rdd.Pair, *Driver) {
+	t.Helper()
+	job, err := BuildJob(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := NewDriver(job, NewMemBackend(sites), cfg)
+	parts, err := drv.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []rdd.Pair
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, drv
+}
+
+func TestDriverMemBackendMatchesEvalLocal(t *testing.T) {
+	for _, cfg := range []DriverConfig{
+		{},
+		{Locality: true},
+		{Aggregate: true},
+		{Aggregate: true, Aggregators: []int{2}},
+	} {
+		f := func(seedRaw uint16) bool {
+			seed := int64(seedRaw)
+			want := canon(rdd.CollectLocal(rdd.RandomLineage(seed, rdd.NewGraph(), hosts(6))))
+			got, _ := runMem(t, rdd.RandomLineage(seed, rdd.NewGraph(), hosts(6)), cfg, 3)
+			if canon(got) != want {
+				t.Logf("seed %d cfg %+v: output diverges from reference", seed, cfg)
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDriverAggregatorFollowsMeasuredSizes plants nearly all map output on
+// one site and checks the second shuffle aggregates there: the driver must
+// feed shuffle.BestAggregator measured sizes, not static guesses.
+func TestDriverAggregatorFollowsMeasuredSizes(t *testing.T) {
+	g := rdd.NewGraph()
+	var parts []rdd.InputPartition
+	for p := 0; p < 6; p++ {
+		big := ""
+		if p == 4 {
+			big = strings.Repeat("x", 4096) // partition 4 dwarfs the rest
+		}
+		parts = append(parts, rdd.InputPartition{
+			Host: topology.HostID(p), ModeledBytes: 1,
+			Records: []rdd.Pair{rdd.KV(fmt.Sprintf("k%d", p), big)},
+		})
+	}
+	job := g.Input("in", parts).
+		GroupByKey("g1", 6).
+		MapValues("keep", func(v rdd.Value) rdd.Value { return v }).
+		GroupByKey("g2", 2)
+
+	pj, err := BuildJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := NewMemBackend(6)
+	drv := NewDriver(pj, be, DriverConfig{Aggregate: true})
+	if _, err := drv.Run(); err != nil {
+		t.Fatal(err)
+	}
+	specs := pj.Plan.Shuffles()
+	if len(specs) != 2 {
+		t.Fatalf("want 2 shuffles, got %d", len(specs))
+	}
+	// Partition 4's record dwarfs the rest, so the first shuffle must
+	// aggregate at site 4 (its input's home); the second shuffle's map
+	// output then all sits at site 4, so it must pick site 4 too — both
+	// from measured byte sizes, not static guesses.
+	first := drv.AggregatedTo(specs[0].ID)
+	second := drv.AggregatedTo(specs[1].ID)
+	if len(first) != 1 || len(second) != 1 {
+		t.Fatalf("aggregators not chosen: %v %v", first, second)
+	}
+	if first[0] != 4 {
+		t.Fatalf("first shuffle aggregated at %d, want the byte-heavy site 4", first[0])
+	}
+	if second[0] != first[0] {
+		t.Fatalf("second shuffle aggregated at %d, want measured-heavy site %d", second[0], first[0])
+	}
+	for _, site := range be.HolderSites(specs[1].ID) {
+		if site != second[0] {
+			t.Fatalf("map output not pushed to aggregator: %v", be.HolderSites(specs[1].ID))
+		}
+	}
+}
+
+func TestDriverRejectsTransferPhases(t *testing.T) {
+	g := rdd.NewGraph()
+	in := g.Input("in", []rdd.InputPartition{{Host: 0, ModeledBytes: 1, Records: []rdd.Pair{rdd.KV("a", 1)}}})
+	target := in.TransferTo(1).ReduceByKey("r", 2, func(a, b rdd.Value) rdd.Value { return a })
+	job, err := BuildJob(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDriver(job, NewMemBackend(2), DriverConfig{}).Run(); err == nil {
+		t.Fatal("transferTo phases accepted; aggregation is a backend mode")
+	}
+}
+
+func TestDriverRetriesUntilBudget(t *testing.T) {
+	g := rdd.NewGraph()
+	target := g.Input("in", []rdd.InputPartition{{Host: 0, ModeledBytes: 1, Records: []rdd.Pair{rdd.KV("a", 1)}}}).
+		ReduceByKey("r", 1, func(a, b rdd.Value) rdd.Value { return a })
+	job, err := BuildJob(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := &flakyBackend{MemBackend: NewMemBackend(2), failFirst: 2}
+	if _, err := NewDriver(job, be, DriverConfig{Retry: Retry{Max: 3}}).Run(); err != nil {
+		t.Fatalf("2 failures within a 3-attempt budget should succeed: %v", err)
+	}
+	be = &flakyBackend{MemBackend: NewMemBackend(2), failFirst: 2}
+	if _, err := NewDriver(job, be, DriverConfig{Retry: Retry{Max: 2}}).Run(); err == nil {
+		t.Fatal("2 failures should exhaust a 2-attempt budget")
+	}
+}
+
+// flakyBackend fails the first N map-task attempts.
+type flakyBackend struct {
+	*MemBackend
+	failFirst int
+}
+
+func (b *flakyBackend) RunMapTask(st *dag.Stage, part, site, aggTo int) error {
+	if b.failFirst > 0 {
+		b.failFirst--
+		return fmt.Errorf("flaky: injected failure")
+	}
+	return b.MemBackend.RunMapTask(st, part, site, aggTo)
+}

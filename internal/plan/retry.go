@@ -1,0 +1,24 @@
+package plan
+
+// DefaultMaxAttempts is the shared task-attempt cap (Spark's
+// spark.task.maxFailures default).
+const DefaultMaxAttempts = 4
+
+// Retry is the task-retry budget shared by both backends: the simulator
+// charges failed attempts against it when re-submitting tasks, and the
+// live driver loops a failed task until the budget is exhausted.
+type Retry struct {
+	// Max bounds attempts per task; <= 0 means DefaultMaxAttempts.
+	Max int
+}
+
+// Limit returns the effective attempt cap.
+func (r Retry) Limit() int {
+	if r.Max > 0 {
+		return r.Max
+	}
+	return DefaultMaxAttempts
+}
+
+// Allow reports whether the given attempt number (1-based) may run.
+func (r Retry) Allow(attempt int) bool { return attempt <= r.Limit() }

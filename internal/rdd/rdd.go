@@ -358,21 +358,23 @@ func (r *RDD) AggregateByKey(name string, numParts int, fn CombineFn) *RDD {
 	}, nil)
 }
 
-// taggedValue wraps cogroup inputs with their side.
-type taggedValue struct {
-	side int
-	v    Value
+// Tagged wraps cogroup inputs with their side. Exported (with exported
+// fields) so live backends can move cogroup map output across the wire
+// with encoding/gob.
+type Tagged struct {
+	Side int
+	V    Value
 }
 
 // SizeBytes implements Sized.
-func (t taggedValue) SizeBytes() float64 { return valueSize(t.v) + 1 }
+func (t Tagged) SizeBytes() float64 { return valueSize(t.V) + 1 }
 
 // CoGroup groups this RDD (side 0) with other (side 1) by key. Each output
 // record's value is a [2][]Value of the two sides' values.
 func (r *RDD) CoGroup(name string, other *RDD, numParts int) *RDD {
 	part := NewHashPartitioner(numParts)
 	tag := func(side int) func(Pair) Pair {
-		return func(p Pair) Pair { return Pair{Key: p.Key, Value: taggedValue{side: side, v: p.Value}} }
+		return func(p Pair) Pair { return Pair{Key: p.Key, Value: Tagged{Side: side, V: p.Value}} }
 	}
 	left := r.Map(name+".tagL", tag(0))
 	right := other.Map(name+".tagR", tag(1))
@@ -385,8 +387,8 @@ func (r *RDD) CoGroup(name string, other *RDD, numParts int) *RDD {
 		for _, p := range in {
 			groups := [2][]Value{}
 			for _, v := range p.Value.([]Value) {
-				tv := v.(taggedValue)
-				groups[tv.side] = append(groups[tv.side], tv.v)
+				tv := v.(Tagged)
+				groups[tv.Side] = append(groups[tv.Side], tv.V)
 			}
 			out = append(out, Pair{Key: p.Key, Value: groups})
 		}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"wanshuffle/internal/topology"
 )
@@ -98,6 +99,45 @@ func (r *Recorder) ByKind(k Kind) []Span {
 		}
 	}
 	return out
+}
+
+// SyncRecorder is a Recorder safe for concurrent use. The simulator is
+// single-threaded and records into a plain Recorder; live backends run
+// tasks on concurrent goroutines in wall-clock time and record here. A nil
+// *SyncRecorder discards everything, like a nil *Recorder.
+type SyncRecorder struct {
+	mu sync.Mutex
+	r  Recorder
+}
+
+// Add records a span.
+func (s *SyncRecorder) Add(sp Span) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.r.Add(sp)
+}
+
+// Spans returns all recorded spans sorted by start time (stable).
+func (s *SyncRecorder) Spans() []Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Spans()
+}
+
+// ByKind returns recorded spans of one kind, sorted by start time.
+func (s *SyncRecorder) ByKind(k Kind) []Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.ByKind(k)
 }
 
 // Gantt renders the spans as an ASCII chart with one row per host that has
