@@ -19,7 +19,9 @@
 //	ablate    design-choice ablations (pipelining, aggregator rule,
 //	          top-K aggregation, burst model β, multi-tenancy, jitter)
 //	extensions  workloads beyond the paper's five (WebJoin)
-//	all       everything above
+//	report    canonical JSON run reports (wanshuffle/run-report/v1) for
+//	          every workload × scheme, written to the -report file
+//	all       everything above except report
 //
 // Flags:
 //
@@ -28,16 +30,20 @@
 //	-scale F   modeled-size multiplier vs Table I (default 1.0)
 //	-jitter F  WAN bandwidth jitter amplitude (default 0.25)
 //	-par N     concurrent simulations (default 8)
+//	-report F  output file for the report experiment (default
+//	           run-reports.json)
 //	-validate  re-validate every run's records against the reference
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"wanshuffle/internal/bench"
 	"wanshuffle/internal/core"
+	"wanshuffle/internal/obs"
 	"wanshuffle/internal/topology"
 	"wanshuffle/internal/workloads"
 )
@@ -56,13 +62,14 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 1.0, "modeled-size multiplier vs Table I")
 	jitter := fs.Float64("jitter", 0.25, "WAN bandwidth jitter amplitude")
 	par := fs.Int("par", 8, "concurrent simulations")
+	reportFile := fs.String("report", "run-reports.json", "output file for the report experiment")
 	validate := fs.Bool("validate", false, "validate run outputs against the reference")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("need exactly one experiment (table1|topology|fig1|fig2|fig7|fig8|fig9|terasort-explicit|ablate|extensions|all)")
+		return fmt.Errorf("need exactly one experiment (table1|topology|fig1|fig2|fig7|fig8|fig9|terasort-explicit|ablate|extensions|report|all)")
 	}
 	opts := bench.Options{
 		Runs: *runs, BaseSeed: *seed, Scale: *scale,
@@ -80,6 +87,7 @@ func run(args []string) error {
 		"terasort-explicit": teraSortExplicit,
 		"ablate":            ablate,
 		"extensions":        extensions,
+		"report":            func(opts bench.Options) error { return report(opts, *reportFile) },
 	}
 	name := fs.Arg(0)
 	if name == "all" {
@@ -205,6 +213,31 @@ func extensions(opts bench.Options) error {
 	for _, s := range series {
 		fmt.Printf("%-12s %-12s %14.1f %18.0f\n", s.Workload, s.Scheme, s.JCT.TrimmedMean, s.CrossDCMB.TrimmedMean)
 	}
+	return nil
+}
+
+// report writes the canonical JSON run report of one traced run per
+// (workload, scheme) to path, as a JSON array. Each element follows the
+// wanshuffle/run-report/v1 schema — the same shape `wansim -report` emits.
+func report(opts bench.Options, path string) error {
+	reports, err := bench.Reports(workloads.All(), bench.Schemes(), opts)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reports); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%d run reports (schema %s) written to %s\n", len(reports), obs.SchemaVersion, path)
 	return nil
 }
 

@@ -14,10 +14,20 @@
 //	-seed      run seed (default 1)
 //	-scale     modeled-size multiplier vs Table I (default 1.0)
 //	-gantt     print the per-worker execution timeline
-//	-matrix    print the per-region traffic matrix
+//	-chrome    write a Chrome trace-event JSON (chrome://tracing, Perfetto)
+//	           to the given file
+//	-matrix    print the traffic matrix (per-region simulated; per-worker
+//	           live, with a driver row for control-plane sampling)
+//	-report    write the canonical JSON run report (schema
+//	           wanshuffle/run-report/v1) to the given file
 //	-validate  check the output against the in-memory reference
 //	-live      execute on a real loopback TCP cluster instead of the
 //	           simulator (scheme spark → fetch shuffle, agg → push)
+//
+// -gantt, -chrome, -matrix, and -report all work in both modes: a
+// simulated run renders virtual time and per-region traffic, while a -live
+// run renders wall-clock spans measured on the workers and per-worker TCP
+// byte counts, through the same code paths and the same report schema.
 package main
 
 import (
@@ -30,6 +40,8 @@ import (
 	"wanshuffle/internal/core"
 	"wanshuffle/internal/exec"
 	"wanshuffle/internal/livecluster"
+	"wanshuffle/internal/obs"
+	"wanshuffle/internal/trace"
 	"wanshuffle/internal/workloads"
 )
 
@@ -48,7 +60,8 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 1.0, "modeled-size multiplier vs Table I")
 	gantt := fs.Bool("gantt", false, "print the execution timeline")
 	chrome := fs.String("chrome", "", "write a Chrome trace-event JSON to this file")
-	matrix := fs.Bool("matrix", false, "print the per-region traffic matrix")
+	matrix := fs.Bool("matrix", false, "print the traffic matrix (per-region sim, per-worker live)")
+	report := fs.String("report", "", "write the canonical JSON run report to this file")
 	validate := fs.Bool("validate", false, "validate output against the reference")
 	live := fs.Bool("live", false, "run on a real loopback TCP cluster instead of the simulator")
 	if err := fs.Parse(args); err != nil {
@@ -71,11 +84,14 @@ func run(args []string) error {
 	ctx := core.NewContext(core.Config{
 		Seed:   *seed,
 		Scheme: sch,
-		Exec:   exec.Config{Trace: *gantt || *chrome != ""},
+		Exec:   exec.Config{Trace: *gantt || *chrome != "" || *report != ""},
 	})
 	inst := w.Make(ctx, workloads.Options{Seed: *seed, Scale: *scale})
 	if *live {
-		return runLive(w.Name, inst, sch, *validate)
+		return runLive(w.Name, inst, sch, liveOptions{
+			gantt: *gantt, chrome: *chrome, matrix: *matrix,
+			report: *report, validate: *validate,
+		})
 	}
 	rep, err := ctx.Save(inst.Target)
 	if err != nil {
@@ -120,6 +136,12 @@ func run(args []string) error {
 		}
 		fmt.Printf("  Chrome trace written to %s\n", *chrome)
 	}
+	if *report != "" {
+		if err := writeReport(*report, rep.RunReport(w.Name)); err != nil {
+			return err
+		}
+		fmt.Printf("  run report written to %s\n", *report)
+	}
 	if *validate {
 		if err := inst.Validate(rep.Records); err != nil {
 			return fmt.Errorf("validation failed: %w", err)
@@ -129,12 +151,34 @@ func run(args []string) error {
 	return nil
 }
 
+// writeReport writes one canonical run report to path.
+func writeReport(path string, rep *obs.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// liveOptions carries the observability flags into a live run.
+type liveOptions struct {
+	gantt    bool
+	chrome   string
+	matrix   bool
+	report   string
+	validate bool
+}
+
 // runLive executes the workload on a real loopback TCP cluster. Only the
 // schemes with a live shuffle mechanism map: spark is the fetch-based
 // shuffle, agg is Push/Aggregate with per-shuffle measured-size aggregator
 // selection. Timing and traffic are wall-clock and actual socket bytes,
 // not the WAN model.
-func runLive(name string, inst *workloads.Instance, sch core.Scheme, validate bool) error {
+func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOptions) error {
 	var mode livecluster.Mode
 	switch sch {
 	case core.SchemeSpark:
@@ -144,7 +188,11 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, validate bo
 	default:
 		return fmt.Errorf("-live supports schemes spark and agg, not %v", sch)
 	}
-	cluster, err := livecluster.New(livecluster.Config{Workers: 6, Mode: mode})
+	var tracer *trace.SyncRecorder
+	if opts.gantt || opts.chrome != "" || opts.report != "" {
+		tracer = &trace.SyncRecorder{}
+	}
+	cluster, err := livecluster.New(livecluster.Config{Workers: 6, Mode: mode, Trace: tracer})
 	if err != nil {
 		return err
 	}
@@ -154,10 +202,11 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, validate bo
 		return err
 	}
 	fmt.Printf("%s live on %d workers (%s shuffle)\n", name, len(stats.ShardsByWorker), mode)
+	fmt.Printf("  completion time:  %.3f s\n", stats.CompletionSec)
 	fmt.Printf("  output records:   %d\n", len(out))
 	fmt.Printf("  bytes over TCP:   %d\n", stats.BytesOverTCP)
-	fmt.Printf("  pushes/fetches:   %d/%d (%d samples, %d dials)\n",
-		stats.PushConnections, stats.FetchConnections, stats.SampleRequests, stats.Dials)
+	fmt.Printf("  pushes/fetches:   %d/%d (%d samples, %d dials, %d retries)\n",
+		stats.PushConnections, stats.FetchConnections, stats.SampleRequests, stats.Dials, stats.Retries)
 	fmt.Println("  stages:")
 	for _, st := range stats.StageSpans {
 		fmt.Printf("    %-34s %7.3f -> %7.3f (%6.3f s)\n", st.Name, st.Start, st.End, st.End-st.Start)
@@ -172,11 +221,64 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, validate bo
 			fmt.Printf("  shuffle %d aggregated at worker(s) %v\n", id, stats.AggregatorsByShuffle[id])
 		}
 	}
-	if validate {
+	if opts.matrix {
+		fmt.Println()
+		fmt.Print(liveMatrix(stats))
+	}
+	if opts.gantt {
+		fmt.Println()
+		fmt.Print(tracer.Gantt(cluster.Topology(), 110))
+	}
+	if opts.chrome != "" {
+		f, err := os.Create(opts.chrome)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WriteChromeTrace(f, cluster.Topology()); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  Chrome trace written to %s\n", opts.chrome)
+	}
+	if opts.report != "" {
+		if err := writeReport(opts.report, stats.RunReport(name, tracer)); err != nil {
+			return err
+		}
+		fmt.Printf("  run report written to %s\n", opts.report)
+	}
+	if opts.validate {
 		if err := inst.Validate(out); err != nil {
 			return fmt.Errorf("validation failed: %w", err)
 		}
 		fmt.Println("  output validated against the in-memory reference ✓")
 	}
 	return nil
+}
+
+// liveMatrix renders the per-worker TCP traffic matrix, mirroring the
+// simulated report's per-region rendering.
+func liveMatrix(stats *livecluster.Stats) string {
+	var b strings.Builder
+	labels := stats.MatrixLabels()
+	b.WriteString("TCP traffic (KB), row=source, col=destination\n")
+	fmt.Fprintf(&b, "%8s", "")
+	for _, n := range labels {
+		fmt.Fprintf(&b, " %10s", n)
+	}
+	b.WriteString("\n")
+	for i, row := range stats.TrafficMatrix {
+		fmt.Fprintf(&b, "%8s", labels[i])
+		for j, v := range row {
+			if i == j {
+				fmt.Fprintf(&b, " %10s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %10.1f", float64(v)/1e3)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
 }

@@ -11,6 +11,7 @@ import (
 
 	"wanshuffle/internal/core"
 	"wanshuffle/internal/exec"
+	"wanshuffle/internal/obs"
 	"wanshuffle/internal/simnet"
 	"wanshuffle/internal/stats"
 	"wanshuffle/internal/workloads"
@@ -40,6 +41,9 @@ type Options struct {
 	// Validate re-checks every run's output against the in-memory
 	// reference (slower; on by default at small scale in tests).
 	Validate bool
+	// Trace records per-task spans in every run, so reports carry
+	// per-stage task-duration summaries.
+	Trace bool
 }
 
 func (o Options) withDefaults() Options {
@@ -69,7 +73,8 @@ func RunOne(w *workloads.Workload, scheme core.Scheme, seed int64, opts Options)
 		Seed:   seed,
 		Scheme: scheme,
 		Exec: exec.Config{
-			Net: simnet.Config{JitterAmplitude: opts.Jitter},
+			Net:   simnet.Config{JitterAmplitude: opts.Jitter},
+			Trace: opts.Trace,
 		},
 	})
 	inst := w.Make(ctx, workloads.Options{Seed: seed, Scale: opts.Scale})
@@ -179,6 +184,26 @@ func Sweep(ws []*workloads.Workload, schemes []core.Scheme, opts Options) ([]Ser
 				s.Stages = append(s.Stages, stats.Summarize(sp))
 			}
 			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// Reports runs every workload under every scheme once (seed
+// opts.BaseSeed, tracing on) and returns each run's canonical JSON run
+// report (obs.SchemaVersion), in workload-major order — the
+// machine-readable companion to the figure experiments.
+func Reports(ws []*workloads.Workload, schemes []core.Scheme, opts Options) ([]*obs.Report, error) {
+	opts = opts.withDefaults()
+	opts.Trace = true
+	var out []*obs.Report
+	for _, w := range ws {
+		for _, scheme := range schemes {
+			rep, err := RunOne(w, scheme, opts.BaseSeed, opts)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rep.RunReport(w.Name))
 		}
 	}
 	return out, nil

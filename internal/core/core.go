@@ -24,6 +24,7 @@ import (
 
 	"wanshuffle/internal/dag"
 	"wanshuffle/internal/exec"
+	"wanshuffle/internal/obs"
 	"wanshuffle/internal/rdd"
 	"wanshuffle/internal/topology"
 	"wanshuffle/internal/trace"
@@ -163,6 +164,8 @@ type Report struct {
 	*exec.Result
 	topo   *topology.Topology
 	tracer *trace.Recorder
+	events *obs.Collector
+	seed   int64
 }
 
 // Gantt renders the job timeline when tracing was enabled.
@@ -252,7 +255,7 @@ func (c *Context) RunConcurrently(targets []*rdd.RDD) ([]*Report, error) {
 	}
 	reports := make([]*Report, len(results))
 	for i, res := range results {
-		reports[i] = &Report{Scheme: c.cfg.Scheme, Result: res, topo: c.cfg.Topology, tracer: c.eng.Tracer}
+		reports[i] = &Report{Scheme: c.cfg.Scheme, Result: res, topo: c.cfg.Topology, tracer: c.eng.Tracer, events: c.eng.Events, seed: c.cfg.Seed}
 	}
 	return reports, nil
 }
@@ -275,5 +278,36 @@ func (c *Context) run(target *rdd.RDD, action exec.Action) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %v job failed: %w", c.cfg.Scheme, err)
 	}
-	return &Report{Scheme: c.cfg.Scheme, Result: res, topo: c.cfg.Topology, tracer: c.eng.Tracer}, nil
+	return &Report{Scheme: c.cfg.Scheme, Result: res, topo: c.cfg.Topology, tracer: c.eng.Tracer, events: c.eng.Events, seed: c.cfg.Seed}, nil
+}
+
+// RunReport assembles the canonical machine-readable run report
+// (obs.SchemaVersion) for this job: the same schema the live cluster
+// emits, so runs from either backend can be diffed mechanically.
+// Task-duration summaries require tracing (Config.Exec.Trace); without it
+// the tasks section is empty.
+func (r *Report) RunReport(workload string) *obs.Report {
+	names := r.topo.DCNames()
+	matrix := make([][]float64, len(r.PairBytes))
+	for i := range r.PairBytes {
+		matrix[i] = append([]float64(nil), r.PairBytes[i]...)
+	}
+	return &obs.Report{
+		Schema:         obs.SchemaVersion,
+		Backend:        "sim",
+		Workload:       workload,
+		Scheme:         r.Scheme.String(),
+		Seed:           r.seed,
+		Sites:          names,
+		CompletionSec:  r.JCT,
+		Stages:         r.Stages,
+		TrafficByClass: r.CrossDCByTag,
+		MatrixLabels:   names,
+		TrafficMatrix:  matrix,
+		Tasks:          obs.TaskSummaries(r.Spans(), obs.StageNames(r.Stages)),
+		TaskAttempts:   r.TaskAttempts,
+		Retries:        r.Retries,
+		BytesTotal:     r.CrossDCBytes,
+		Metrics:        r.events.Registry().Snapshot(),
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"wanshuffle/internal/dag"
+	"wanshuffle/internal/obs"
 	"wanshuffle/internal/plan"
 	"wanshuffle/internal/rdd"
 	"wanshuffle/internal/sched"
@@ -159,6 +160,9 @@ type Engine struct {
 	Topo   *topology.Topology
 	Sched  *sched.Scheduler
 	Tracer *trace.Recorder
+	// Events collects the task/stage lifecycle stream of every job run on
+	// this engine, with counters in its metrics registry. Always present.
+	Events *obs.Collector
 
 	cfg      Config
 	retry    plan.Retry
@@ -197,6 +201,7 @@ func New(topo *topology.Topology, seed int64, cfg Config) *Engine {
 		Net:        simnet.New(clock, topo, seed, cfg.Net),
 		Topo:       topo,
 		Sched:      sched.New(clock, topo, cfg.Sched),
+		Events:     obs.NewCollector(),
 		cfg:        cfg,
 		retry:      plan.Retry{Max: cfg.MaxAttempts},
 		reg:        shuffle.NewRegistry(),
@@ -276,6 +281,9 @@ type Result struct {
 	// TaskAttempts counts every task attempt launched, including failed
 	// ones.
 	TaskAttempts int
+	// Retries counts re-submissions after a failed attempt (injected
+	// failures and lost hosts; speculative copies are not retries).
+	Retries int
 }
 
 // RunOptions tune one job run.
@@ -303,6 +311,7 @@ type jobState struct {
 	start      float64
 
 	attempts int
+	retries  int
 	done     bool
 	end      float64
 	err      error
@@ -479,6 +488,7 @@ func (e *Engine) report(job *jobState) *Result {
 		CrossDCBytes: e.Net.CrossDCBytes() - job.startCross,
 		CrossDCByTag: map[string]float64{},
 		TaskAttempts: job.attempts,
+		Retries:      job.retries,
 	}
 	for tag, b := range e.Net.CrossDCBytesByTag() {
 		if d := b - job.startByTag[tag]; d > 0 {

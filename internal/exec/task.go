@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"wanshuffle/internal/obs"
 	"wanshuffle/internal/plan"
 	"wanshuffle/internal/rdd"
 	"wanshuffle/internal/sched"
@@ -195,8 +196,23 @@ func (t *taskRun) name() string {
 	return fmt.Sprintf("%s/p%d/t%d#%d%s", t.ss.st.Name(), t.phase, t.part, t.attempt, tag)
 }
 
+// taskEvent reports one lifecycle transition of a task attempt to the
+// engine's collector. Site is the datacenter index of the placed host (the
+// simulator's unit of placement), or -1 before placement.
+func (e *Engine) taskEvent(phase obs.TaskPhase, t *taskRun, site int, err error) {
+	ev := obs.TaskEvent{
+		Phase: phase, Stage: t.ss.st.ID, StageName: t.ss.st.Name(),
+		Part: t.part, Site: site, Attempt: t.attempt, Time: e.Clock.Now(),
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	e.Events.OnTask(ev)
+}
+
 func (e *Engine) submitTask(t *taskRun) {
 	t.ss.job.attempts++
+	e.taskEvent(obs.PhaseScheduled, t, -1, nil)
 	var prefs []topology.HostID
 	strict := false
 	if t.ss.job.pinDC != nil {
@@ -311,6 +327,7 @@ func (e *Engine) locality(ss *stageState, part int) []topology.HostID {
 // or deliver results).
 func (e *Engine) runTask(t *taskRun, host topology.HostID, release func()) {
 	start := e.Clock.Now()
+	e.taskEvent(obs.PhaseStarted, t, int(e.Topo.DCOf(host)), nil)
 	if t.phase == t.ss.startPhase && !t.receiver {
 		t.ss.partRun[t.part] = true
 		if !t.speculative {
@@ -448,12 +465,16 @@ func (e *Engine) computePhase(t *taskRun, host topology.HostID, release func(), 
 	if e.isDead(host) {
 		// The host died under this attempt; fail over elsewhere.
 		release()
+		err := fmt.Errorf("host %d died under attempt", host)
+		e.taskEvent(obs.PhaseFailed, t, int(e.Topo.DCOf(host)), err)
 		if !e.retry.Allow(t.attempt + 1) {
 			e.failJob(t.ss.job, fmt.Errorf("exec: task %s lost its host %d times", t.name(), t.attempt))
 			return
 		}
 		retry := *t
 		retry.attempt++
+		t.ss.job.retries++
+		e.taskEvent(obs.PhaseRetried, &retry, -1, nil)
 		e.submitTask(&retry)
 		return
 	}
@@ -521,11 +542,15 @@ func (e *Engine) computePhase(t *taskRun, host topology.HostID, release func(), 
 			e.Clock.After(at, func() {
 				e.trace(trace.Span{Kind: trace.KindFail, Host: host, Stage: st.ID, Part: t.part, Start: computeStart, End: e.Clock.Now(), Label: "failed attempt"})
 				release()
+				e.taskEvent(obs.PhaseFailed, t, int(e.Topo.DCOf(host)), fmt.Errorf("injected failure"))
 				if !e.retry.Allow(t.attempt + 1) {
 					e.failJob(t.ss.job, fmt.Errorf("exec: task %s exceeded %d attempts", t.name(), e.retry.Limit()))
 					return
 				}
-				e.submitTask(&taskRun{ss: t.ss, part: t.part, phase: t.ss.startPhase, attempt: t.attempt + 1})
+				retry := &taskRun{ss: t.ss, part: t.part, phase: t.ss.startPhase, attempt: t.attempt + 1}
+				t.ss.job.retries++
+				e.taskEvent(obs.PhaseRetried, retry, -1, nil)
+				e.submitTask(retry)
 			})
 			return
 		}
@@ -604,6 +629,7 @@ func (e *Engine) postPhase(t *taskRun, host topology.HostID, out partData, bound
 		e.reg.AddMapOutput(st.OutSpec.ID, t.part, host, out.records, out.modeled)
 		e.recoveryDone(st.OutSpec.ID, t.part)
 		e.Clock.After(out.modeled/e.cfg.DiskBps, func() {
+			e.taskEvent(obs.PhaseFinished, t, int(e.Topo.DCOf(host)), nil)
 			release()
 			e.taskDone(t.ss)
 		})
@@ -632,6 +658,7 @@ func (e *Engine) postPhase(t *taskRun, host topology.HostID, out partData, bound
 	e.Clock.After(localWrite, func() {
 		e.Net.StartFlow(host, e.Topo.MasterHost, bytes, TagResult, func() {
 			e.trace(trace.Span{Kind: trace.KindResult, Host: host, Stage: st.ID, Part: t.part, Start: resStart, End: e.Clock.Now()})
+			e.taskEvent(obs.PhaseFinished, t, int(e.Topo.DCOf(host)), nil)
 			release()
 			e.taskDone(t.ss)
 			job.resultsIn++
@@ -682,6 +709,7 @@ func (e *Engine) taskDone(ss *stageState) {
 	ss.completed = true
 	ss.specTimer.Cancel()
 	ss.span.End = e.Clock.Now()
+	e.Events.OnStage(ss.span)
 	if ss.st.OutSpec != nil {
 		e.reg.Finalize(ss.st.OutSpec.ID)
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wanshuffle/internal/dag"
+	"wanshuffle/internal/obs"
 	"wanshuffle/internal/plan"
 	"wanshuffle/internal/rdd"
 	"wanshuffle/internal/topology"
@@ -27,6 +28,9 @@ type liveRun struct {
 	c     *Cluster
 	stats *Stats
 	start time.Time
+	// shuffleStage maps shuffle ID → producing stage ID, so server-side
+	// receive spans carry the same stage attribution as the simulator's.
+	shuffleStage map[int]int
 
 	mu sync.Mutex
 	// holders tracks, per shuffle ID, each map output's holder worker and
@@ -35,8 +39,23 @@ type liveRun struct {
 	holders map[int][]outMeta
 }
 
-func newLiveRun(c *Cluster, stats *Stats) *liveRun {
-	return &liveRun{c: c, stats: stats, start: time.Now(), holders: map[int][]outMeta{}}
+func newLiveRun(c *Cluster, stats *Stats, p *dag.Plan) *liveRun {
+	shuffleStage := map[int]int{}
+	for _, st := range p.Stages {
+		if st.OutSpec != nil {
+			shuffleStage[st.OutSpec.ID] = st.ID
+		}
+	}
+	return &liveRun{c: c, stats: stats, start: time.Now(), shuffleStage: shuffleStage, holders: map[int][]outMeta{}}
+}
+
+// stageOfShuffle resolves a shuffle ID to the stage that produced it (-1
+// if unknown).
+func (r *liveRun) stageOfShuffle(id int) int {
+	if st, ok := r.shuffleStage[id]; ok {
+		return st
+	}
+	return -1
 }
 
 // NumSites implements plan.Backend: one site per worker.
@@ -76,16 +95,23 @@ func (r *liveRun) InputSizes(st *dag.Stage) []float64 {
 func (r *liveRun) RunMapTask(st *dag.Stage, part, site, aggTo int) error {
 	w := r.c.workers[site]
 	t0 := r.since()
-	recs, err := plan.EvalStagePart(st, part, r.reader(site))
+	lastFetch := t0
+	recs, err := plan.EvalStagePart(st, part, r.reader(site, st.ID, &lastFetch))
 	if err != nil {
 		return err
 	}
 	prepared := rdd.MapSidePrepare(st.OutSpec, recs)
+	// The compute span runs from the last shuffle read (t0 for leaf
+	// stages) until the output is ready; the push is its own span, so the
+	// timeline separates M and P the way the simulator's does.
+	r.span(trace.KindMap, site, st.ID, part, lastFetch)
 	holder := site
 	if aggTo >= 0 {
+		tPush := r.since()
 		if err := w.push(r.c.workers[aggTo].addr, st.OutSpec.ID, part, prepared, r.stats); err != nil {
 			return err
 		}
+		r.span(trace.KindPush, site, st.ID, part, tPush)
 		holder = aggTo
 	} else {
 		w.storeMapOutput(st.OutSpec.ID, part, prepared)
@@ -98,18 +124,18 @@ func (r *liveRun) RunMapTask(st *dag.Stage, part, site, aggTo int) error {
 	}
 	hs[part] = outMeta{site: holder, bytes: rdd.SizeOfAll(prepared), ok: true}
 	r.mu.Unlock()
-	r.span(trace.KindMap, site, st.ID, part, t0)
 	return nil
 }
 
 // RunResultTask implements plan.Backend.
 func (r *liveRun) RunResultTask(st *dag.Stage, part, site int) ([]rdd.Pair, error) {
 	t0 := r.since()
-	recs, err := plan.EvalStagePart(st, part, r.reader(site))
+	lastFetch := t0
+	recs, err := plan.EvalStagePart(st, part, r.reader(site, st.ID, &lastFetch))
 	if err != nil {
 		return nil, err
 	}
-	r.span(trace.KindReduce, site, st.ID, part, t0)
+	r.span(trace.KindReduce, site, st.ID, part, lastFetch)
 	return recs, nil
 }
 
@@ -137,8 +163,13 @@ func (r *liveRun) Barrier(st *dag.Stage) error {
 	return nil
 }
 
-// StageDone implements plan.Backend.
-func (r *liveRun) StageDone(span plan.StageSpan) {
+// OnTask implements plan.Backend (obs.Sink): the driver's task lifecycle
+// stream feeds the job's event collector and its metrics registry.
+func (r *liveRun) OnTask(ev obs.TaskEvent) { r.stats.Events.OnTask(ev) }
+
+// OnStage implements plan.Backend (obs.Sink).
+func (r *liveRun) OnStage(span plan.StageSpan) {
+	r.stats.Events.OnStage(span)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.stats.StageSpans = append(r.stats.StageSpans, span)
@@ -147,12 +178,15 @@ func (r *liveRun) StageDone(span plan.StageSpan) {
 // reader builds the ShuffleReader tasks at one worker gather their shuffle
 // input through: every map output's shard is fetched over TCP from its
 // holder (aggregator or mapper), serially in map order so gathered records
-// arrive deterministically.
-func (r *liveRun) reader(site int) plan.ShuffleReader {
+// arrive deterministically. Fetch spans carry the reading stage's ID;
+// lastFetch tracks when the task's final fetch completed, so callers can
+// start the compute span after the transfer window.
+func (r *liveRun) reader(site, stage int, lastFetch *float64) plan.ShuffleReader {
 	return func(spec *rdd.ShuffleSpec, reduce int) ([]rdd.Pair, error) {
 		r.mu.Lock()
 		numMaps := len(r.holders[spec.ID])
 		r.mu.Unlock()
+		t0 := r.since()
 		var out []rdd.Pair
 		for m := 0; m < numMaps; m++ {
 			om, err := r.holderOf(spec.ID, m)
@@ -164,6 +198,10 @@ func (r *liveRun) reader(site int) plan.ShuffleReader {
 				return nil, err
 			}
 			out = append(out, shard...)
+		}
+		r.span(trace.KindFetch, site, stage, reduce, t0)
+		if end := r.since(); lastFetch != nil && end > *lastFetch {
+			*lastFetch = end
 		}
 		return out, nil
 	}

@@ -32,9 +32,13 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"wanshuffle/internal/obs"
 	"wanshuffle/internal/plan"
 	"wanshuffle/internal/rdd"
+	"wanshuffle/internal/topology"
 	"wanshuffle/internal/trace"
 )
 
@@ -101,12 +105,18 @@ func (c Config) withDefaults() Config {
 type Cluster struct {
 	cfg     Config
 	workers []*worker
+	// addrIndex resolves a worker listen address to its index, for the
+	// per-(src,dst) traffic matrix.
+	addrIndex map[string]int
 	// specs is the control-plane shuffle metadata of the current job
 	// (shuffleID → *rdd.ShuffleSpec), the registry workers bucket by.
 	specs sync.Map
 	// pool is the driver's own client side, for control-plane requests
 	// like barrier sampling.
 	pool poolSet
+	// curRun is the job currently executing, so server-side handlers
+	// (push receives) can record spans against its clock.
+	curRun atomic.Pointer[liveRun]
 }
 
 // Stats reports the data-plane activity of one job.
@@ -129,6 +139,85 @@ type Stats struct {
 	// StageSpans are the per-stage execution windows, wall-clock seconds
 	// since the job started.
 	StageSpans []plan.StageSpan
+	// Mode is the shuffle mode the job ran under.
+	Mode Mode
+	// CompletionSec is the job's wall-clock duration.
+	CompletionSec float64
+	// Retries counts task attempts beyond the first.
+	Retries int
+	// TrafficMatrix[i][j] is the TCP payload moved by requests from site
+	// i to site j; sites 0..Workers-1 are the workers, index Workers is
+	// the driver (barrier sampling). Summed over all entries it equals
+	// BytesOverTCP — the live analogue of the simulator's per-region
+	// matrix.
+	TrafficMatrix [][]int64
+	// BytesByClass splits BytesOverTCP by request purpose: "push",
+	// "shuffle" (fetch), "sample".
+	BytesByClass map[string]int64
+	// Events collects the driver's task lifecycle and stage events, with
+	// a metrics registry mirroring them.
+	Events *obs.Collector
+
+	matMu sync.Mutex
+}
+
+// addFlow accounts one request/response exchange's payload bytes to the
+// (src,dst) traffic matrix and its traffic class.
+func (s *Stats) addFlow(src, dst int, class string, n int64) {
+	s.matMu.Lock()
+	defer s.matMu.Unlock()
+	if src >= 0 && src < len(s.TrafficMatrix) && dst >= 0 && dst < len(s.TrafficMatrix) {
+		s.TrafficMatrix[src][dst] += n
+	}
+	if s.BytesByClass != nil {
+		s.BytesByClass[class] += n
+	}
+}
+
+// MatrixLabels names the traffic matrix's rows and columns: one per
+// worker, then the driver.
+func (s *Stats) MatrixLabels() []string {
+	out := make([]string, 0, len(s.ShardsByWorker)+1)
+	for i := range s.ShardsByWorker {
+		out = append(out, fmt.Sprintf("w%d", i))
+	}
+	return append(out, "driver")
+}
+
+// RunReport assembles the canonical JSON run report for this job. tr is
+// the trace recorder the job ran with (Config.Trace); a nil recorder
+// yields a report without task summaries.
+func (s *Stats) RunReport(workload string, tr *trace.SyncRecorder) *obs.Report {
+	labels := s.MatrixLabels()
+	matrix := make([][]float64, len(s.TrafficMatrix))
+	for i, row := range s.TrafficMatrix {
+		matrix[i] = make([]float64, len(row))
+		for j, v := range row {
+			matrix[i][j] = float64(v)
+		}
+	}
+	byClass := make(map[string]float64, len(s.BytesByClass))
+	for class, v := range s.BytesByClass {
+		byClass[class] = float64(v)
+	}
+	return &obs.Report{
+		Schema:         obs.SchemaVersion,
+		Backend:        "live",
+		Workload:       workload,
+		Scheme:         s.Mode.String(),
+		Sites:          labels[:len(s.ShardsByWorker)],
+		CompletionSec:  s.CompletionSec,
+		Stages:         s.StageSpans,
+		TrafficByClass: byClass,
+		MatrixLabels:   labels,
+		TrafficMatrix:  matrix,
+		Tasks:          obs.TaskSummaries(tr.Spans(), obs.StageNames(s.StageSpans)),
+		TaskAttempts:   s.Events.CountPhase(obs.PhaseStarted),
+		Retries:        s.Retries,
+		Dials:          s.Dials,
+		BytesTotal:     float64(s.BytesOverTCP),
+		Metrics:        s.Events.Registry().Snapshot(),
+	}
 }
 
 // New starts the workers, each listening on an ephemeral loopback port.
@@ -139,7 +228,7 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("livecluster: aggregator %d out of range [0,%d)", a, cfg.Workers)
 		}
 	}
-	c := &Cluster{cfg: cfg}
+	c := &Cluster{cfg: cfg, addrIndex: make(map[string]int, cfg.Workers)}
 	for i := 0; i < cfg.Workers; i++ {
 		w, err := newWorker(i, c)
 		if err != nil {
@@ -147,8 +236,34 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 		c.workers = append(c.workers, w)
+		c.addrIndex[w.addr] = i
 	}
 	return c, nil
+}
+
+// driverSite is the traffic-matrix index of the driver's connection pool.
+func (c *Cluster) driverSite() int { return len(c.workers) }
+
+// siteOfAddr resolves a worker address to its matrix index (-1 if
+// unknown).
+func (c *Cluster) siteOfAddr(addr string) int {
+	if i, ok := c.addrIndex[addr]; ok {
+		return i
+	}
+	return -1
+}
+
+// Topology describes the cluster as a single-datacenter topology (one host
+// per worker), so live trace spans render through the same Gantt and
+// Chrome-trace code paths as simulated ones.
+func (c *Cluster) Topology() *topology.Topology {
+	b := topology.NewBuilder()
+	b.AddDC("local", len(c.workers), 1, 1e9)
+	topo, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("livecluster: building local topology: %v", err))
+	}
+	return topo
 }
 
 // Close shuts every worker down and drops all pooled connections.
@@ -183,11 +298,22 @@ func (c *Cluster) Run(target *rdd.RDD) ([]rdd.Pair, *Stats, error) {
 	for _, spec := range job.Plan.Shuffles() {
 		c.specs.Store(spec.ID, spec)
 	}
+	nSites := len(c.workers) + 1 // workers plus the driver's pool
+	matrix := make([][]int64, nSites)
+	for i := range matrix {
+		matrix[i] = make([]int64, nSites)
+	}
 	stats := &Stats{
 		ShardsByWorker:       make([]int, len(c.workers)),
 		AggregatorsByShuffle: map[int][]int{},
+		Mode:                 c.cfg.Mode,
+		TrafficMatrix:        matrix,
+		BytesByClass:         map[string]int64{},
+		Events:               obs.NewCollector(),
 	}
-	run := newLiveRun(c, stats)
+	run := newLiveRun(c, stats, job.Plan)
+	c.curRun.Store(run)
+	defer c.curRun.Store(nil)
 	drv := plan.NewDriver(job, run, plan.DriverConfig{
 		Aggregate:   c.cfg.Mode == ModePush,
 		Aggregators: c.cfg.Aggregators,
@@ -195,6 +321,8 @@ func (c *Cluster) Run(target *rdd.RDD) ([]rdd.Pair, *Stats, error) {
 		Retry:       plan.Retry{Max: c.cfg.MaxAttempts},
 	})
 	parts, err := drv.Run()
+	stats.CompletionSec = time.Since(run.start).Seconds()
+	stats.Retries = stats.Events.CountPhase(obs.PhaseRetried)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,167 @@
+package livecluster
+
+import (
+	"bytes"
+	"testing"
+
+	"wanshuffle/internal/obs"
+	"wanshuffle/internal/trace"
+)
+
+func matrixTotal(m [][]int64) int64 {
+	var total int64
+	for _, row := range m {
+		for _, v := range row {
+			total += v
+		}
+	}
+	return total
+}
+
+// TestLiveRunReportInvariants checks the live backend's run report: the
+// canonical schema fields are filled, every task attempt produced at least
+// one span, percentiles are ordered, and the traffic matrix accounts for
+// every byte that crossed a socket.
+func TestLiveRunReportInvariants(t *testing.T) {
+	tr := &trace.SyncRecorder{}
+	cluster, err := New(Config{Workers: 4, Mode: ModePush, Aggregators: []int{2}, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	_, stats, err := cluster.Run(buildWordCount(6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := stats.RunReport("wordcount", tr)
+	if rep.Schema != obs.SchemaVersion || rep.Backend != "live" || rep.Scheme != "push" {
+		t.Fatalf("report header = %q/%q/%q", rep.Schema, rep.Backend, rep.Scheme)
+	}
+	if rep.Workload != "wordcount" || rep.CompletionSec <= 0 || len(rep.Stages) == 0 {
+		t.Fatalf("degenerate report: workload=%q completion=%v stages=%d",
+			rep.Workload, rep.CompletionSec, len(rep.Stages))
+	}
+	if len(rep.Sites) != 4 || len(rep.MatrixLabels) != 5 || rep.MatrixLabels[4] != "driver" {
+		t.Fatalf("sites = %v, matrix labels = %v", rep.Sites, rep.MatrixLabels)
+	}
+
+	// Every byte over TCP is in exactly one matrix cell.
+	if got, want := matrixTotal(stats.TrafficMatrix), stats.BytesOverTCP; got != want {
+		t.Fatalf("traffic matrix total = %d, BytesOverTCP = %d", got, want)
+	}
+	var repTotal float64
+	for _, row := range rep.TrafficMatrix {
+		for _, v := range row {
+			repTotal += v
+		}
+	}
+	if repTotal != rep.BytesTotal || int64(repTotal) != stats.BytesOverTCP {
+		t.Fatalf("report matrix total = %v, bytes_total = %v, BytesOverTCP = %d",
+			repTotal, rep.BytesTotal, stats.BytesOverTCP)
+	}
+	var classTotal float64
+	for _, v := range rep.TrafficByClass {
+		classTotal += v
+	}
+	if classTotal != rep.BytesTotal {
+		t.Fatalf("traffic_by_class total = %v, bytes_total = %v", classTotal, rep.BytesTotal)
+	}
+
+	// Every finished task attempt contributed exactly one compute span
+	// (map or reduce) to the summaries.
+	finished := stats.Events.CountPhase(obs.PhaseFinished)
+	if finished == 0 {
+		t.Fatal("no finished task events recorded")
+	}
+	compute := 0
+	for _, ts := range rep.Tasks {
+		if ts.Count < 1 {
+			t.Fatalf("empty task summary: %+v", ts)
+		}
+		const eps = 1e-12
+		if ts.P50Sec > ts.P95Sec+eps || ts.P95Sec > ts.MaxSec+eps {
+			t.Fatalf("percentiles out of order: %+v", ts)
+		}
+		if ts.Kind == "map" || ts.Kind == "reduce" {
+			compute += ts.Count
+		}
+	}
+	if compute != finished {
+		t.Fatalf("compute spans = %d, finished tasks = %d", compute, finished)
+	}
+	if rep.TaskAttempts != stats.Events.CountPhase(obs.PhaseStarted) {
+		t.Fatalf("task_attempts = %d, started events = %d",
+			rep.TaskAttempts, stats.Events.CountPhase(obs.PhaseStarted))
+	}
+
+	// The report round-trips through its JSON encoding.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := obs.DecodeReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.BytesTotal != rep.BytesTotal || len(dec.Tasks) != len(rep.Tasks) {
+		t.Fatalf("round-trip mangled report: bytes %v vs %v", dec.BytesTotal, rep.BytesTotal)
+	}
+}
+
+// TestPushModeMatrixConcentratesOnAggregator is the matrix form of the
+// paper's push-aggregation claim: with the aggregator pinned, cross-worker
+// shuffle bytes land only in the aggregator's column — every other
+// worker's column (and the driver's) stays zero.
+func TestPushModeMatrixConcentratesOnAggregator(t *testing.T) {
+	const agg = 2
+	cluster, err := New(Config{Workers: 4, Mode: ModePush, Aggregators: []int{agg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	_, stats, err := cluster.Run(buildWordCount(6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src, row := range stats.TrafficMatrix {
+		for dst, v := range row {
+			if dst != agg && dst != src && v != 0 {
+				t.Fatalf("push mode moved %d bytes from %d to non-aggregator %d\nmatrix: %v",
+					v, src, dst, stats.TrafficMatrix)
+			}
+		}
+	}
+	var intoAgg int64
+	for src, row := range stats.TrafficMatrix {
+		if src != agg {
+			intoAgg += row[agg]
+		}
+	}
+	if intoAgg == 0 {
+		t.Fatal("no cross-worker bytes reached the aggregator")
+	}
+}
+
+// TestFetchModeMatrixAccountsAllBytes checks the byte-conservation
+// invariant under the fetch baseline too.
+func TestFetchModeMatrixAccountsAllBytes(t *testing.T) {
+	cluster, err := New(Config{Workers: 4, Mode: ModeFetch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	_, stats, err := cluster.Run(buildWordCount(6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BytesOverTCP == 0 {
+		t.Fatal("fetch run moved no bytes")
+	}
+	if got, want := matrixTotal(stats.TrafficMatrix), stats.BytesOverTCP; got != want {
+		t.Fatalf("traffic matrix total = %d, BytesOverTCP = %d", got, want)
+	}
+	if got := stats.BytesByClass["shuffle"]; got == 0 {
+		t.Fatalf("fetch run recorded no shuffle-class bytes: %v", stats.BytesByClass)
+	}
+}

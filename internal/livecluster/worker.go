@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"wanshuffle/internal/rdd"
+	"wanshuffle/internal/trace"
 )
 
 // Wire protocol: gob-framed request/response pairs multiplexed over
@@ -138,6 +139,14 @@ func (w *worker) handle(req *request) *response {
 	resp := &response{}
 	switch req.Kind {
 	case reqPush:
+		// Receiver occupancy (the paper's V rows): the aggregator side of
+		// a push, recorded against the running job's clock.
+		if run := w.cluster.curRun.Load(); run != nil {
+			t0 := run.since()
+			w.storeMapOutput(req.ShuffleID, req.MapPart, req.Records)
+			run.span(trace.KindReceive, w.id, run.stageOfShuffle(req.ShuffleID), req.MapPart, t0)
+			break
+		}
 		w.storeMapOutput(req.ShuffleID, req.MapPart, req.Records)
 	case reqFetch:
 		records, err := w.shard(req.ShuffleID, req.MapPart, req.Reduce)
@@ -210,7 +219,7 @@ func (w *worker) shard(shuffleID, mapPart, reduce int) ([]rdd.Pair, error) {
 func (w *worker) push(addr string, shuffleID, mapPart int, records []rdd.Pair, stats *Stats) error {
 	resp, err := w.pool.call(addr, request{
 		Kind: reqPush, ShuffleID: shuffleID, MapPart: mapPart, Records: records,
-	}, stats)
+	}, stats, w.id, w.cluster.siteOfAddr(addr))
 	if err != nil {
 		return fmt.Errorf("livecluster: push %d/%d to %s: %w", shuffleID, mapPart, addr, err)
 	}
@@ -225,7 +234,7 @@ func (w *worker) push(addr string, shuffleID, mapPart int, records []rdd.Pair, s
 func (w *worker) fetch(addr string, shuffleID, mapPart, reduce int, stats *Stats) ([]rdd.Pair, error) {
 	resp, err := w.pool.call(addr, request{
 		Kind: reqFetch, ShuffleID: shuffleID, MapPart: mapPart, Reduce: reduce,
-	}, stats)
+	}, stats, w.id, w.cluster.siteOfAddr(addr))
 	if err != nil {
 		return nil, fmt.Errorf("livecluster: fetch %d/%d/%d from %s: %w", shuffleID, mapPart, reduce, addr, err)
 	}
@@ -241,7 +250,7 @@ func (w *worker) fetch(addr string, shuffleID, mapPart, reduce int, stats *Stats
 func (c *Cluster) sampleKeys(addr string, shuffleID, mapPart, max int, stats *Stats) ([]string, error) {
 	resp, err := c.pool.call(addr, request{
 		Kind: reqSample, ShuffleID: shuffleID, MapPart: mapPart, Max: max,
-	}, stats)
+	}, stats, c.driverSite(), c.siteOfAddr(addr))
 	if err != nil {
 		return nil, fmt.Errorf("livecluster: sample %d/%d from %s: %w", shuffleID, mapPart, addr, err)
 	}
@@ -250,6 +259,21 @@ func (c *Cluster) sampleKeys(addr string, shuffleID, mapPart, max int, stats *St
 	}
 	atomic.AddInt64(&stats.SampleRequests, 1)
 	return resp.Keys, nil
+}
+
+// class maps a request kind to its traffic class in byte accounting,
+// mirroring the simulator's traffic tags where the purposes align.
+func (k requestKind) class() string {
+	switch k {
+	case reqPush:
+		return "push"
+	case reqFetch:
+		return "shuffle"
+	case reqSample:
+		return "sample"
+	default:
+		return "other"
+	}
 }
 
 // pooledConn is one persistent client connection with its sticky gob
@@ -303,9 +327,11 @@ func (ps *poolSet) put(addr string, pc *pooledConn) {
 }
 
 // call runs one request/response exchange on a pooled connection and
-// accounts the bytes that crossed the socket. Connections that error are
-// dropped, not pooled.
-func (ps *poolSet) call(addr string, req request, stats *Stats) (response, error) {
+// accounts the bytes that crossed the socket, both in the global
+// BytesOverTCP total and in the (src, dst) cell of the traffic matrix, so
+// the matrix total always equals BytesOverTCP exactly.
+// Connections that error are dropped, not pooled.
+func (ps *poolSet) call(addr string, req request, stats *Stats, src, dst int) (response, error) {
 	pc, err := ps.get(addr, stats)
 	if err != nil {
 		return response{}, err
@@ -321,7 +347,9 @@ func (ps *poolSet) call(addr string, req request, stats *Stats) (response, error
 		return response{}, err
 	}
 	if stats != nil {
-		atomic.AddInt64(&stats.BytesOverTCP, pc.conn.bytes.Load()-before)
+		n := pc.conn.bytes.Load() - before
+		atomic.AddInt64(&stats.BytesOverTCP, n)
+		stats.addFlow(src, dst, req.Kind.class(), n)
 	}
 	ps.put(addr, pc)
 	return resp, nil

@@ -1,0 +1,139 @@
+package obs
+
+import "sync"
+
+// TaskPhase is one transition in a task's lifecycle.
+type TaskPhase string
+
+// Task lifecycle phases, in the order a healthy task passes through them.
+// A failing attempt emits PhaseFailed; if the retry budget allows another
+// attempt, PhaseRetried follows with the new attempt number.
+const (
+	PhaseScheduled TaskPhase = "scheduled"
+	PhaseStarted   TaskPhase = "started"
+	PhaseFinished  TaskPhase = "finished"
+	PhaseRetried   TaskPhase = "retried"
+	PhaseFailed    TaskPhase = "failed"
+)
+
+// TaskEvent is one task lifecycle transition, reported by whoever drives
+// tasks (plan.Driver for backend-driven jobs, internal/exec for the
+// simulator's event loop).
+type TaskEvent struct {
+	Phase     TaskPhase `json:"phase"`
+	Stage     int       `json:"stage"`
+	StageName string    `json:"stage_name"`
+	Part      int       `json:"part"`
+	// Site is the task site (worker index or host ID); -1 when the event
+	// precedes placement.
+	Site    int     `json:"site"`
+	Attempt int     `json:"attempt"`
+	Time    float64 `json:"time_sec"`
+	// Err carries the failure message on PhaseFailed events.
+	Err string `json:"err,omitempty"`
+}
+
+// StageEvent reports one completed stage's execution window. It is the
+// canonical stage-span shape: plan.StageSpan aliases it, so the simulator's
+// virtual seconds and the live cluster's wall-clock seconds interoperate.
+type StageEvent struct {
+	ID    int     `json:"id"`
+	Name  string  `json:"name"`
+	Start float64 `json:"start_sec"`
+	End   float64 `json:"end_sec"`
+}
+
+// Sink receives run events. plan.Backend embeds it, widening the old
+// StageDone-only hook: the Driver reports every task transition and every
+// stage completion to the backend running the job. Implementations must be
+// safe for concurrent use (tasks run on concurrent goroutines).
+type Sink interface {
+	// OnTask receives one task lifecycle transition.
+	OnTask(ev TaskEvent)
+	// OnStage receives one completed stage's execution window.
+	OnStage(ev StageEvent)
+}
+
+// Collector is the standard Sink: it records every event and mirrors the
+// stream into a metrics registry (obs_tasks_total{phase=...} per stage,
+// obs_stages_total). A nil *Collector discards everything, so callers need
+// no enabled checks.
+type Collector struct {
+	mu     sync.Mutex
+	reg    *Registry
+	tasks  []TaskEvent
+	stages []StageEvent
+}
+
+// NewCollector returns a Collector feeding a fresh registry.
+func NewCollector() *Collector {
+	return &Collector{reg: NewRegistry()}
+}
+
+// OnTask implements Sink.
+func (c *Collector) OnTask(ev TaskEvent) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.tasks = append(c.tasks, ev)
+	c.mu.Unlock()
+	c.reg.Counter("tasks_total", Labels{"phase": string(ev.Phase), "stage": ev.StageName}).Inc()
+}
+
+// OnStage implements Sink.
+func (c *Collector) OnStage(ev StageEvent) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.stages = append(c.stages, ev)
+	c.mu.Unlock()
+	c.reg.Counter("stages_total", nil).Inc()
+	c.reg.Gauge("stage_duration_sec", Labels{"stage": ev.Name}).Set(ev.End - ev.Start)
+}
+
+// TaskEvents returns a copy of the recorded task events in arrival order.
+func (c *Collector) TaskEvents() []TaskEvent {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]TaskEvent(nil), c.tasks...)
+}
+
+// StageEvents returns a copy of the recorded stage events in arrival order.
+func (c *Collector) StageEvents() []StageEvent {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]StageEvent(nil), c.stages...)
+}
+
+// CountPhase returns how many task events of one phase were recorded.
+func (c *Collector) CountPhase(p TaskPhase) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ev := range c.tasks {
+		if ev.Phase == p {
+			n++
+		}
+	}
+	return n
+}
+
+// Registry returns the collector's metrics registry (nil for a nil
+// collector).
+func (c *Collector) Registry() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.reg
+}

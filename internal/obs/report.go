@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"wanshuffle/internal/stats"
+	"wanshuffle/internal/trace"
+)
+
+// SchemaVersion identifies the canonical run-report schema. Both backends
+// emit exactly this shape, so sim-vs-live behavioural cross-checks can be
+// automated (e.g. live push-mode bytes on non-aggregator links ≈ 0).
+const SchemaVersion = "wanshuffle/run-report/v1"
+
+// histogramBuckets is the fixed bucket count of the per-stage task
+// duration histograms.
+const histogramBuckets = 8
+
+// stragglerMultiplier marks a task a straggler when its duration exceeds
+// this multiple of the stage median (Spark's speculation default).
+const stragglerMultiplier = 1.5
+
+// TaskSummary is the per-stage task-duration summary: percentiles,
+// dispersion, a fixed-bucket histogram, and the straggler count.
+type TaskSummary struct {
+	Stage int    `json:"stage"`
+	Name  string `json:"name"`
+	// Kind is the span kind summarized (map / reduce / receive).
+	Kind      string       `json:"kind"`
+	Count     int          `json:"count"`
+	MeanSec   float64      `json:"mean_sec"`
+	StdDevSec float64      `json:"stddev_sec"`
+	P50Sec    float64      `json:"p50_sec"`
+	P95Sec    float64      `json:"p95_sec"`
+	MaxSec    float64      `json:"max_sec"`
+	Hist      []HistBucket `json:"hist,omitempty"`
+	// Stragglers counts tasks slower than 1.5× the stage median.
+	Stragglers int `json:"stragglers"`
+}
+
+// Report is the canonical machine-readable description of one job run,
+// shared by the simulator and the live cluster. Times are seconds (virtual
+// for sim, wall-clock for live); traffic is bytes.
+type Report struct {
+	Schema   string `json:"schema"`
+	Backend  string `json:"backend"` // "sim" | "live"
+	Workload string `json:"workload,omitempty"`
+	// Scheme is the sim scheme (Spark/Centralized/AggShuffle/Manual) or
+	// the live shuffle mode (fetch/push).
+	Scheme        string       `json:"scheme"`
+	Seed          int64        `json:"seed,omitempty"`
+	Sites         []string     `json:"sites"`
+	CompletionSec float64      `json:"completion_sec"`
+	Stages        []StageEvent `json:"stages"`
+	// TrafficByClass splits moved bytes by purpose (input / shuffle /
+	// push / result / centralize / cache for sim; push / shuffle / sample
+	// for live).
+	TrafficByClass map[string]float64 `json:"traffic_by_class"`
+	// TrafficMatrix[i][j] is bytes moved from MatrixLabels[i] to
+	// MatrixLabels[j]: per-region for sim, per-worker (plus the driver
+	// row) for live — the comparable artifact behind the paper's S − s₁
+	// claim.
+	MatrixLabels  []string      `json:"matrix_labels"`
+	TrafficMatrix [][]float64   `json:"traffic_matrix"`
+	Tasks         []TaskSummary `json:"tasks,omitempty"`
+	TaskAttempts  int           `json:"task_attempts"`
+	Retries       int           `json:"retries"`
+	Dials         int64         `json:"dials,omitempty"`
+	BytesTotal    float64       `json:"bytes_total"`
+	Metrics       []MetricPoint `json:"metrics,omitempty"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// DecodeReport reads one report and checks its schema tag.
+func DecodeReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("obs: decoding run report: %w", err)
+	}
+	if rep.Schema != SchemaVersion {
+		return nil, fmt.Errorf("obs: run report schema %q, want %q", rep.Schema, SchemaVersion)
+	}
+	return &rep, nil
+}
+
+// summaryKinds are the span kinds that represent task occupancy and feed
+// per-stage duration summaries.
+var summaryKinds = []trace.Kind{trace.KindMap, trace.KindReduce, trace.KindReceive}
+
+// TaskSummaries groups task spans by (stage, kind) and computes each
+// group's duration summary via internal/stats. stageNames labels the
+// groups; unknown stages keep an empty name. Output order is stage ID then
+// kind, deterministic for golden tests.
+func TaskSummaries(spans []trace.Span, stageNames map[int]string) []TaskSummary {
+	type key struct {
+		stage int
+		kind  trace.Kind
+	}
+	wanted := map[trace.Kind]bool{}
+	for _, k := range summaryKinds {
+		wanted[k] = true
+	}
+	durs := map[key][]float64{}
+	for _, s := range spans {
+		if !wanted[s.Kind] {
+			continue
+		}
+		k := key{s.Stage, s.Kind}
+		durs[k] = append(durs[k], s.End-s.Start)
+	}
+	keys := make([]key, 0, len(durs))
+	for k := range durs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].stage != keys[j].stage {
+			return keys[i].stage < keys[j].stage
+		}
+		return keys[i].kind < keys[j].kind
+	})
+	out := make([]TaskSummary, 0, len(keys))
+	for _, k := range keys {
+		ds := durs[k]
+		median := stats.Median(ds)
+		max := stats.Max(ds)
+		h := stats.NewHistogram(stats.LinearEdges(0, max, histogramBuckets))
+		stragglers := 0
+		for _, d := range ds {
+			h.Add(d)
+			if d > stragglerMultiplier*median {
+				stragglers++
+			}
+		}
+		ts := TaskSummary{
+			Stage:      k.stage,
+			Name:       stageNames[k.stage],
+			Kind:       string(k.kind),
+			Count:      len(ds),
+			MeanSec:    stats.Mean(ds),
+			StdDevSec:  stats.StdDev(ds),
+			P50Sec:     median,
+			P95Sec:     stats.Percentile(ds, 95),
+			MaxSec:     max,
+			Stragglers: stragglers,
+		}
+		for _, b := range h.Buckets() {
+			ts.Hist = append(ts.Hist, HistBucket{Le: formatEdge(b.Le), Count: b.Count})
+		}
+		out = append(out, ts)
+	}
+	return out
+}
+
+// StageNames indexes stage events by ID for TaskSummaries.
+func StageNames(stages []StageEvent) map[int]string {
+	out := make(map[int]string, len(stages))
+	for _, st := range stages {
+		out[st.ID] = st.Name
+	}
+	return out
+}

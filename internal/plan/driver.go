@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wanshuffle/internal/dag"
+	"wanshuffle/internal/obs"
 	"wanshuffle/internal/rdd"
 	"wanshuffle/internal/shuffle"
 	"wanshuffle/internal/topology"
@@ -48,8 +49,12 @@ type Backend interface {
 	// partitioner) before any consumer reads it.
 	Barrier(st *dag.Stage) error
 
-	// StageDone reports a completed stage's execution window.
-	StageDone(span StageSpan)
+	// Sink receives the driver's run events: every task lifecycle
+	// transition (scheduled / started / finished / retried / failed) via
+	// OnTask, and each completed stage's execution window via OnStage —
+	// the widened successor of the old StageDone-only hook. Task events
+	// arrive from concurrent task goroutines.
+	obs.Sink
 }
 
 // DriverConfig tunes one driven job.
@@ -160,12 +165,13 @@ func (d *Driver) runStage(st *dag.Stage) ([][]rdd.Pair, error) {
 		if len(agg) > 0 {
 			aggTo = SpreadTopK(agg, len(agg), part)
 		}
+		d.taskEvent(obs.PhaseScheduled, st, part, site, 1, nil)
 		wg.Add(1)
 		d.sems[site] <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-d.sems[site] }()
-			errs[part] = d.attempt(st, part, func() error {
+			errs[part] = d.attempt(st, part, site, func() error {
 				if st.OutSpec != nil {
 					return d.be.RunMapTask(st, part, site, aggTo)
 				}
@@ -186,8 +192,20 @@ func (d *Driver) runStage(st *dag.Stage) ([][]rdd.Pair, error) {
 			return nil, err
 		}
 	}
-	d.be.StageDone(StageSpan{ID: st.ID, Name: st.Name(), Start: spanStart, End: d.now()})
+	d.be.OnStage(StageSpan{ID: st.ID, Name: st.Name(), Start: spanStart, End: d.now()})
 	return results, nil
+}
+
+// taskEvent reports one task lifecycle transition to the backend's sink.
+func (d *Driver) taskEvent(phase obs.TaskPhase, st *dag.Stage, part, site, attempt int, err error) {
+	ev := obs.TaskEvent{
+		Phase: phase, Stage: st.ID, StageName: st.Name(),
+		Part: part, Site: site, Attempt: attempt, Time: d.now(),
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	d.be.OnTask(ev)
 }
 
 // resolveAggregators picks the stage's aggregator sites: the explicit
@@ -247,15 +265,20 @@ func (d *Driver) boundarySites(st *dag.Stage) []int {
 	return sites
 }
 
-// attempt runs one task against the retry budget.
-func (d *Driver) attempt(st *dag.Stage, part int, run func() error) error {
+// attempt runs one task against the retry budget, reporting every
+// transition to the backend's event sink.
+func (d *Driver) attempt(st *dag.Stage, part, site int, run func() error) error {
 	for att := 1; ; att++ {
+		d.taskEvent(obs.PhaseStarted, st, part, site, att, nil)
 		err := run()
 		if err == nil {
+			d.taskEvent(obs.PhaseFinished, st, part, site, att, nil)
 			return nil
 		}
+		d.taskEvent(obs.PhaseFailed, st, part, site, att, err)
 		if !d.cfg.Retry.Allow(att + 1) {
 			return fmt.Errorf("plan: task %s/t%d failed after %d attempt(s): %w", st.Name(), part, att, err)
 		}
+		d.taskEvent(obs.PhaseRetried, st, part, site, att+1, nil)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"wanshuffle/internal/dag"
+	"wanshuffle/internal/obs"
 	"wanshuffle/internal/rdd"
 	"wanshuffle/internal/topology"
 )
@@ -24,6 +25,10 @@ type memOutput struct {
 type MemBackend struct {
 	Sites int
 
+	// Events collects the driver's run events (task lifecycle + stage
+	// spans).
+	Events *obs.Collector
+
 	mu      sync.Mutex
 	outputs map[int][]memOutput // shuffle ID -> per-map-part output
 	spans   []StageSpan
@@ -31,7 +36,7 @@ type MemBackend struct {
 
 // NewMemBackend creates a backend with the given number of sites.
 func NewMemBackend(sites int) *MemBackend {
-	return &MemBackend{Sites: sites, outputs: map[int][]memOutput{}}
+	return &MemBackend{Sites: sites, Events: obs.NewCollector(), outputs: map[int][]memOutput{}}
 }
 
 // NumSites implements Backend.
@@ -125,8 +130,12 @@ func (b *MemBackend) Barrier(st *dag.Stage) error {
 	return nil
 }
 
-// StageDone implements Backend.
-func (b *MemBackend) StageDone(span StageSpan) {
+// OnTask implements Backend (obs.Sink).
+func (b *MemBackend) OnTask(ev obs.TaskEvent) { b.Events.OnTask(ev) }
+
+// OnStage implements Backend (obs.Sink).
+func (b *MemBackend) OnStage(span StageSpan) {
+	b.Events.OnStage(span)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.spans = append(b.spans, span)

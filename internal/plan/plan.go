@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"wanshuffle/internal/dag"
+	"wanshuffle/internal/obs"
 	"wanshuffle/internal/rdd"
 )
 
@@ -48,10 +49,7 @@ func (j *Job) Final() *dag.Stage { return j.Plan.Final }
 
 // StageSpan reports one stage's execution window. The simulator fills it
 // with virtual seconds, the live cluster with wall-clock seconds since the
-// job started; both backends emit the same shape (Fig. 9's unit).
-type StageSpan struct {
-	ID    int
-	Name  string
-	Start float64
-	End   float64
-}
+// job started; both backends emit the same shape (Fig. 9's unit). It is
+// the canonical obs.StageEvent, so stage windows flow through event sinks
+// and into the shared run report without conversion.
+type StageSpan = obs.StageEvent

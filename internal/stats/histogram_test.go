@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogram(t *testing.T) {
+	cases := []struct {
+		name    string
+		edges   []float64
+		samples []float64
+		want    []int // per-bucket counts, overflow bucket last
+		wantN   int
+	}{
+		{
+			name:  "empty",
+			edges: []float64{1, 2, 3},
+			want:  []int{0, 0, 0, 0},
+		},
+		{
+			name:    "single sample",
+			edges:   []float64{1, 2, 3},
+			samples: []float64{1.5},
+			want:    []int{0, 1, 0, 0},
+			wantN:   1,
+		},
+		{
+			name:    "boundary lands in the lower bucket",
+			edges:   []float64{1, 2, 3},
+			samples: []float64{1, 2, 3},
+			want:    []int{1, 1, 1, 0},
+			wantN:   3,
+		},
+		{
+			name:    "overflow past the last edge",
+			edges:   []float64{1, 2},
+			samples: []float64{5, 100},
+			want:    []int{0, 0, 2},
+			wantN:   2,
+		},
+		{
+			name:    "NaN samples are ignored",
+			edges:   []float64{1},
+			samples: []float64{math.NaN(), 0.5},
+			want:    []int{1, 0},
+			wantN:   1,
+		},
+		{
+			name:    "single edge splits below and above",
+			edges:   []float64{0},
+			samples: []float64{-1, 0, 1},
+			want:    []int{2, 1},
+			wantN:   3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(tc.edges)
+			for _, x := range tc.samples {
+				h.Add(x)
+			}
+			if h.N() != tc.wantN {
+				t.Fatalf("N = %d, want %d", h.N(), tc.wantN)
+			}
+			bs := h.Buckets()
+			if len(bs) != len(tc.want) {
+				t.Fatalf("got %d buckets, want %d", len(bs), len(tc.want))
+			}
+			total := 0
+			for i, b := range bs {
+				if b.Count != tc.want[i] {
+					t.Fatalf("bucket %d (le=%v): count %d, want %d", i, b.Le, b.Count, tc.want[i])
+				}
+				total += b.Count
+			}
+			if total != tc.wantN {
+				t.Fatalf("bucket counts sum to %d, want N=%d", total, tc.wantN)
+			}
+			if last := bs[len(bs)-1]; !math.IsInf(last.Le, 1) {
+				t.Fatalf("last bucket edge = %v, want +Inf", last.Le)
+			}
+		})
+	}
+}
+
+func TestNewHistogramRejectsBadEdges(t *testing.T) {
+	for _, edges := range [][]float64{{2, 1}, {1, math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewHistogram(%v) did not panic", edges)
+				}
+			}()
+			NewHistogram(edges)
+		}()
+	}
+}
+
+func TestLinearEdges(t *testing.T) {
+	cases := []struct {
+		name     string
+		min, max float64
+		n        int
+		want     []float64
+	}{
+		{"even split", 0, 4, 4, []float64{1, 2, 3, 4}},
+		{"single bucket", 0, 10, 1, []float64{10}},
+		{"degenerate range", 5, 5, 4, []float64{5}},
+		{"non-positive n", 0, 3, 0, []float64{3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := LinearEdges(tc.min, tc.max, tc.n)
+			if len(got) != len(tc.want) {
+				t.Fatalf("LinearEdges = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if !almost(got[i], tc.want[i]) {
+					t.Fatalf("LinearEdges = %v, want %v", got, tc.want)
+				}
+			}
+			// Edges must be strictly usable by NewHistogram.
+			NewHistogram(got)
+		})
+	}
+}

@@ -98,8 +98,8 @@ func Max(xs []float64) float64 {
 	return m
 }
 
-// Stddev returns the sample standard deviation (0 for n < 2).
-func Stddev(xs []float64) float64 {
+// StdDev returns the sample standard deviation (0 for n < 2).
+func StdDev(xs []float64) float64 {
 	if len(xs) < 2 {
 		return 0
 	}

@@ -61,19 +61,35 @@ func TestPercentileAndMedian(t *testing.T) {
 	}
 }
 
-func TestMinMaxStddev(t *testing.T) {
+func TestMinMax(t *testing.T) {
 	xs := []float64{5, 1, 9}
 	if Min(xs) != 1 || Max(xs) != 9 {
 		t.Fatal("min/max wrong")
 	}
-	if Stddev([]float64{2, 4}) == 0 {
-		t.Fatal("stddev of distinct samples is 0")
-	}
-	if Stddev([]float64{2}) != 0 {
-		t.Fatal("stddev of one sample not 0")
-	}
 	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
 		t.Fatal("empty min/max not NaN")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single sample", []float64{2}, 0},
+		{"identical samples", []float64{3, 3, 3, 3}, 0},
+		{"two samples", []float64{2, 4}, math.Sqrt2},
+		{"known set", []float64{2, 4, 4, 4, 5, 5, 7, 9}, math.Sqrt(32.0 / 7.0)},
+		{"negative values", []float64{-1, 1}, math.Sqrt2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := StdDev(tc.xs); !almost(got, tc.want) {
+				t.Fatalf("StdDev(%v) = %v, want %v", tc.xs, got, tc.want)
+			}
+		})
 	}
 }
 

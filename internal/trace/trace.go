@@ -140,6 +140,17 @@ func (s *SyncRecorder) ByKind(k Kind) []Span {
 	return s.r.ByKind(k)
 }
 
+// Gantt renders the spans as an ASCII chart, like (*Recorder).Gantt. Safe
+// against concurrent Add.
+func (s *SyncRecorder) Gantt(topo *topology.Topology, width int) string {
+	if s == nil {
+		return (*Recorder)(nil).Gantt(topo, width)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Gantt(topo, width)
+}
+
 // Gantt renders the spans as an ASCII chart with one row per host that has
 // activity, width characters wide. Overlapping spans on a host merge
 // left-to-right (later kinds overwrite earlier within the overlap), which
@@ -185,10 +196,15 @@ func (r *Recorder) Gantt(topo *topology.Topology, width int) string {
 		row := rows[s.Host]
 		from := int(s.Start * scale)
 		to := int(s.End * scale)
+		// Clamp both edges so a span starting at/after the right edge
+		// (e.g. Start == tMax) still paints at least one cell.
+		if from >= width {
+			from = width - 1
+		}
 		if to >= width {
 			to = width - 1
 		}
-		for i := from; i <= to && i < width; i++ {
+		for i := from; i <= to; i++ {
 			row[i] = s.Kind.glyph()
 		}
 	}

@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"bytes"
 	"strings"
+	"sync"
 	"testing"
 
 	"wanshuffle/internal/topology"
@@ -81,6 +83,63 @@ func TestGanttTinyWidthClamped(t *testing.T) {
 	r.Add(Span{Kind: KindMap, Host: 0, Start: 0, End: 1})
 	if g := r.Gantt(topo, 1); !strings.Contains(g, "M") {
 		t.Fatalf("clamped gantt broken:\n%s", g)
+	}
+}
+
+func TestGanttRightEdgeSpanVisible(t *testing.T) {
+	topo := topology.TwoDCMicro(2, 0.25)
+	r := &Recorder{}
+	r.Add(Span{Kind: KindMap, Host: 0, Start: 0, End: 10})
+	// A span whose scaled start lands at/after the right edge (here a
+	// zero-length span exactly at tMax) must still paint one cell.
+	r.Add(Span{Kind: KindReduce, Host: 1, Start: 10, End: 10})
+	g := r.Gantt(topo, 40)
+	if !strings.Contains(g, "R") {
+		t.Fatalf("right-edge span rendered no glyph:\n%s", g)
+	}
+}
+
+// TestSyncRecorderRenderRace hammers concurrent Add against Gantt and
+// Chrome-trace rendering; run under -race it proves live backends can
+// export mid-job.
+func TestSyncRecorderRenderRace(t *testing.T) {
+	topo := topology.TwoDCMicro(2, 0.25)
+	s := &SyncRecorder{}
+	const writers, perWriter = 4, 200
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Add(Span{Kind: KindMap, Host: topology.HostID(g), Start: float64(i), End: float64(i + 1)})
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		if g := s.Gantt(topo, 60); g == "" {
+			t.Fatal("empty gantt")
+		}
+		var buf bytes.Buffer
+		if err := s.WriteChromeTrace(&buf, topo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got := len(s.Spans()); got != writers*perWriter {
+		t.Fatalf("recorded %d spans, want %d", got, writers*perWriter)
+	}
+}
+
+func TestNilSyncRecorderRenders(t *testing.T) {
+	var s *SyncRecorder
+	topo := topology.TwoDCMicro(2, 0.25)
+	if g := s.Gantt(topo, 40); !strings.Contains(g, "no spans") {
+		t.Fatalf("nil SyncRecorder gantt = %q", g)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf, topo); err != nil {
+		t.Fatalf("nil SyncRecorder chrome trace: %v", err)
 	}
 }
 
