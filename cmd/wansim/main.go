@@ -24,35 +24,58 @@
 //	-live      execute on a real loopback TCP cluster instead of the
 //	           simulator (scheme spark → fetch shuffle, agg → push)
 //
+// Telemetry plane (both modes):
+//
+//	-telemetry-addr    serve GET /metrics (Prometheus text), /report
+//	                   (point-in-time run-report JSON), /events (NDJSON
+//	                   task-lifecycle stream) and /debug/pprof/ on this
+//	                   address (e.g. 127.0.0.1:9090). Empty disables.
+//	-telemetry-linger  keep the endpoint up this long after the run, so
+//	                   scrapers can read the final state
+//	-progress          print a live progress line (stages/tasks/bytes) to
+//	                   stderr while the run executes
+//	-log-level         structured log level: debug | info | warn | error |
+//	                   off (default warn), written to stderr
+//	-heartbeat         -live worker→driver heartbeat interval (0 = 50ms
+//	                   default, negative disables)
+//	-stale-after       -live heartbeat staleness threshold (0 = 1s)
+//
 // -gantt, -chrome, -matrix, and -report all work in both modes: a
 // simulated run renders virtual time and per-region traffic, while a -live
 // run renders wall-clock spans measured on the workers and per-worker TCP
 // byte counts, through the same code paths and the same report schema.
+// GET /report after the run serves byte-for-byte the same JSON that
+// -report writes: both encode the one final report object.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"wanshuffle/internal/core"
 	"wanshuffle/internal/exec"
 	"wanshuffle/internal/livecluster"
 	"wanshuffle/internal/obs"
+	"wanshuffle/internal/telemetry"
 	"wanshuffle/internal/trace"
 	"wanshuffle/internal/workloads"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "wansim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("wansim", flag.ContinueOnError)
 	workload := fs.String("workload", "wordcount", "workload name")
 	scheme := fs.String("scheme", "agg", "spark | centralized | agg | manual")
@@ -64,6 +87,12 @@ func run(args []string) error {
 	report := fs.String("report", "", "write the canonical JSON run report to this file")
 	validate := fs.Bool("validate", false, "validate output against the reference")
 	live := fs.Bool("live", false, "run on a real loopback TCP cluster instead of the simulator")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /report, /events and /debug/pprof/ on this address (empty disables)")
+	linger := fs.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after the run completes")
+	progress := fs.Bool("progress", false, "print a live progress line to stderr during the run")
+	logLevel := fs.String("log-level", "warn", "structured log level: debug | info | warn | error | off")
+	heartbeat := fs.Duration("heartbeat", 0, "-live worker heartbeat interval (0 = 50ms default, negative disables)")
+	staleAfter := fs.Duration("stale-after", 0, "-live heartbeat staleness threshold (0 = 1s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,47 +109,95 @@ func run(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown scheme %q", *scheme)
 	}
-
-	ctx := core.NewContext(core.Config{
-		Seed:   *seed,
-		Scheme: sch,
-		Exec:   exec.Config{Trace: *gantt || *chrome != "" || *report != ""},
-	})
-	inst := w.Make(ctx, workloads.Options{Seed: *seed, Scale: *scale})
-	if *live {
-		return runLive(w.Name, inst, sch, liveOptions{
-			gantt: *gantt, chrome: *chrome, matrix: *matrix,
-			report: *report, validate: *validate,
-		})
-	}
-	rep, err := ctx.Save(inst.Target)
+	logger, err := buildLogger(*logLevel)
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("%s under %v (seed %d, scale %.2f)\n", w.Name, sch, *seed, *scale)
-	fmt.Printf("  job completion time: %.1f s\n", rep.JCT)
-	fmt.Printf("  cross-DC traffic:    %.0f MB\n", rep.CrossDCBytes/1e6)
+	ctx := core.NewContext(core.Config{
+		Seed:   *seed,
+		Scheme: sch,
+		Exec: exec.Config{
+			Trace:  *gantt || *chrome != "" || *report != "" || *telemetryAddr != "",
+			Logger: logger,
+		},
+	})
+	inst := w.Make(ctx, workloads.Options{Seed: *seed, Scale: *scale})
+	obsOpts := obsOptions{
+		telemetryAddr: *telemetryAddr, linger: *linger,
+		progress: *progress, logger: logger,
+	}
+	if *live {
+		return runLive(w.Name, inst, sch, liveOptions{
+			gantt: *gantt, chrome: *chrome, matrix: *matrix,
+			report: *report, validate: *validate,
+			heartbeat: *heartbeat, staleAfter: *staleAfter,
+			obs: obsOpts,
+		}, stdout)
+	}
+
+	// Telemetry plane: until the run finishes, /report serves an
+	// in-progress snapshot built from the engine's event collector; the
+	// final report object then takes over — the same object -report writes,
+	// so file and endpoint are byte-identical.
+	var finalRep atomic.Pointer[obs.Report]
+	events := ctx.Engine().Events
+	tel, err := startTelemetry(obsOpts, stdout, telemetry.Config{
+		Registry: func() *obs.Registry { return events.Registry() },
+		Report: func() *obs.Report {
+			if rep := finalRep.Load(); rep != nil {
+				return rep
+			}
+			return obs.InProgressReport("sim", w.Name, sch.String(), events)
+		},
+		Events: func() *obs.Collector { return events },
+		Logger: logger,
+	})
+	if err != nil {
+		return err
+	}
+	if tel != nil {
+		defer tel.Close()
+	}
+	var prog *telemetry.Progress
+	if *progress {
+		prog = telemetry.StartProgress(os.Stderr, 0,
+			func() *obs.Collector { return events },
+			func() int64 { return sumCounter(events.Registry(), "bytes_moved_total") })
+	}
+	rep, err := ctx.Save(inst.Target)
+	if prog != nil {
+		prog.Stop()
+	}
+	if err != nil {
+		return err
+	}
+	runRep := rep.RunReport(w.Name)
+	finalRep.Store(runRep)
+
+	fmt.Fprintf(stdout, "%s under %v (seed %d, scale %.2f)\n", w.Name, sch, *seed, *scale)
+	fmt.Fprintf(stdout, "  job completion time: %.1f s\n", rep.JCT)
+	fmt.Fprintf(stdout, "  cross-DC traffic:    %.0f MB\n", rep.CrossDCBytes/1e6)
 	tags := make([]string, 0, len(rep.CrossDCByTag))
 	for tag := range rep.CrossDCByTag {
 		tags = append(tags, tag)
 	}
 	sort.Strings(tags)
 	for _, tag := range tags {
-		fmt.Printf("    %-12s %8.0f MB\n", tag, rep.CrossDCByTag[tag]/1e6)
+		fmt.Fprintf(stdout, "    %-12s %8.0f MB\n", tag, rep.CrossDCByTag[tag]/1e6)
 	}
-	fmt.Printf("  task attempts:       %d\n", rep.TaskAttempts)
-	fmt.Println("  stages:")
+	fmt.Fprintf(stdout, "  task attempts:       %d\n", rep.TaskAttempts)
+	fmt.Fprintln(stdout, "  stages:")
 	for _, st := range rep.Stages {
-		fmt.Printf("    %-34s %7.1f -> %7.1f (%6.1f s)\n", st.Name, st.Start, st.End, st.End-st.Start)
+		fmt.Fprintf(stdout, "    %-34s %7.1f -> %7.1f (%6.1f s)\n", st.Name, st.Start, st.End, st.End-st.Start)
 	}
 	if *matrix {
-		fmt.Println()
-		fmt.Print(rep.TrafficMatrix())
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, rep.TrafficMatrix())
 	}
 	if *gantt {
-		fmt.Println()
-		fmt.Print(rep.Gantt(110))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, rep.Gantt(110))
 	}
 	if *chrome != "" {
 		f, err := os.Create(*chrome)
@@ -134,21 +211,86 @@ func run(args []string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("  Chrome trace written to %s\n", *chrome)
+		fmt.Fprintf(stdout, "  Chrome trace written to %s\n", *chrome)
 	}
 	if *report != "" {
-		if err := writeReport(*report, rep.RunReport(w.Name)); err != nil {
+		if err := writeReport(*report, runRep); err != nil {
 			return err
 		}
-		fmt.Printf("  run report written to %s\n", *report)
+		fmt.Fprintf(stdout, "  run report written to %s\n", *report)
 	}
 	if *validate {
 		if err := inst.Validate(rep.Records); err != nil {
 			return fmt.Errorf("validation failed: %w", err)
 		}
-		fmt.Println("  output validated against the in-memory reference ✓")
+		fmt.Fprintln(stdout, "  output validated against the in-memory reference ✓")
 	}
+	lingerTelemetry(tel, obsOpts, stdout)
 	return nil
+}
+
+// buildLogger maps the -log-level flag to a stderr text logger; "off"
+// yields nil (discard).
+func buildLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "off", "none", "":
+		return nil, nil
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (debug | info | warn | error | off)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
+// obsOptions carries the mode-independent observability flags.
+type obsOptions struct {
+	telemetryAddr string
+	linger        time.Duration
+	progress      bool
+	logger        *slog.Logger
+}
+
+// startTelemetry brings the telemetry HTTP endpoint up when configured
+// (nil server otherwise) and announces its URL.
+func startTelemetry(opts obsOptions, stdout io.Writer, cfg telemetry.Config) (*telemetry.Server, error) {
+	if opts.telemetryAddr == "" {
+		return nil, nil
+	}
+	tel, err := telemetry.Start(opts.telemetryAddr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stdout, "telemetry: serving at %s (GET /metrics /report /events /debug/pprof/)\n", tel.URL())
+	return tel, nil
+}
+
+// lingerTelemetry keeps a running endpoint up past job completion, so
+// scrapers can collect the final state.
+func lingerTelemetry(tel *telemetry.Server, opts obsOptions, stdout io.Writer) {
+	if tel == nil || opts.linger <= 0 {
+		return
+	}
+	fmt.Fprintf(stdout, "telemetry: lingering %v at %s\n", opts.linger, tel.URL())
+	time.Sleep(opts.linger)
+}
+
+// sumCounter totals a counter metric over all label sets.
+func sumCounter(reg *obs.Registry, name string) int64 {
+	var total float64
+	for _, p := range reg.Snapshot() {
+		if p.Name == name {
+			total += p.Value
+		}
+	}
+	return int64(total)
 }
 
 // writeReport writes one canonical run report to path.
@@ -166,11 +308,14 @@ func writeReport(path string, rep *obs.Report) error {
 
 // liveOptions carries the observability flags into a live run.
 type liveOptions struct {
-	gantt    bool
-	chrome   string
-	matrix   bool
-	report   string
-	validate bool
+	gantt      bool
+	chrome     string
+	matrix     bool
+	report     string
+	validate   bool
+	heartbeat  time.Duration
+	staleAfter time.Duration
+	obs        obsOptions
 }
 
 // runLive executes the workload on a real loopback TCP cluster. Only the
@@ -178,7 +323,7 @@ type liveOptions struct {
 // shuffle, agg is Push/Aggregate with per-shuffle measured-size aggregator
 // selection. Timing and traffic are wall-clock and actual socket bytes,
 // not the WAN model.
-func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOptions) error {
+func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOptions, stdout io.Writer) error {
 	var mode livecluster.Mode
 	switch sch {
 	case core.SchemeSpark:
@@ -189,27 +334,91 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOp
 		return fmt.Errorf("-live supports schemes spark and agg, not %v", sch)
 	}
 	var tracer *trace.SyncRecorder
-	if opts.gantt || opts.chrome != "" || opts.report != "" {
+	if opts.gantt || opts.chrome != "" || opts.report != "" || opts.obs.telemetryAddr != "" {
 		tracer = &trace.SyncRecorder{}
 	}
-	cluster, err := livecluster.New(livecluster.Config{Workers: 6, Mode: mode, Trace: tracer})
+	cluster, err := livecluster.New(livecluster.Config{
+		Workers: 6, Mode: mode, Trace: tracer,
+		HeartbeatInterval: opts.heartbeat, StaleAfter: opts.staleAfter,
+		Logger: opts.obs.logger,
+	})
 	if err != nil {
 		return err
 	}
 	defer cluster.Close()
-	out, stats, err := cluster.Run(inst.Target)
+
+	// Telemetry plane: mid-run scrapes read the running job's stats — the
+	// registry fed by worker heartbeats, and /report built by the same
+	// RunReport code path as the final file, so its traffic matrix always
+	// sums to the bytes moved so far. Scrapes refresh the per-worker
+	// heartbeat-age gauges first.
+	var finalRep atomic.Pointer[obs.Report]
+	tel, err := startTelemetry(opts.obs, stdout, telemetry.Config{
+		Registry: func() *obs.Registry {
+			cluster.RefreshLiveness()
+			if s := cluster.CurrentStats(); s != nil {
+				return s.Events.Registry()
+			}
+			return nil
+		},
+		Report: func() *obs.Report {
+			if rep := finalRep.Load(); rep != nil {
+				return rep
+			}
+			if s := cluster.CurrentStats(); s != nil {
+				return s.RunReport(name, tracer)
+			}
+			return nil
+		},
+		Events: func() *obs.Collector {
+			if s := cluster.CurrentStats(); s != nil {
+				return s.Events
+			}
+			return nil
+		},
+		Logger: opts.obs.logger,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s live on %d workers (%s shuffle)\n", name, len(stats.ShardsByWorker), mode)
-	fmt.Printf("  completion time:  %.3f s\n", stats.CompletionSec)
-	fmt.Printf("  output records:   %d\n", len(out))
-	fmt.Printf("  bytes over TCP:   %d\n", stats.BytesOverTCP)
-	fmt.Printf("  pushes/fetches:   %d/%d (%d samples, %d dials, %d retries)\n",
+	if tel != nil {
+		defer tel.Close()
+	}
+	var prog *telemetry.Progress
+	if opts.obs.progress {
+		prog = telemetry.StartProgress(os.Stderr, 0,
+			func() *obs.Collector {
+				if s := cluster.CurrentStats(); s != nil {
+					return s.Events
+				}
+				return nil
+			},
+			func() int64 {
+				if s := cluster.CurrentStats(); s != nil {
+					return s.BytesMoved()
+				}
+				return 0
+			})
+	}
+	out, stats, err := cluster.Run(inst.Target)
+	if prog != nil {
+		prog.Stop()
+	}
+	if err != nil {
+		return err
+	}
+	runRep := stats.RunReport(name, tracer)
+	finalRep.Store(runRep)
+
+	fmt.Fprintf(stdout, "%s live on %d workers (%s shuffle)\n", name, len(stats.ShardsByWorker), mode)
+	fmt.Fprintf(stdout, "  completion time:  %.3f s\n", stats.CompletionSec)
+	fmt.Fprintf(stdout, "  output records:   %d\n", len(out))
+	fmt.Fprintf(stdout, "  bytes over TCP:   %d\n", stats.BytesOverTCP)
+	fmt.Fprintf(stdout, "  pushes/fetches:   %d/%d (%d samples, %d dials, %d retries)\n",
 		stats.PushConnections, stats.FetchConnections, stats.SampleRequests, stats.Dials, stats.Retries)
-	fmt.Println("  stages:")
+	fmt.Fprintln(stdout, "  stages:")
 	for _, st := range stats.StageSpans {
-		fmt.Printf("    %-34s %7.3f -> %7.3f (%6.3f s)\n", st.Name, st.Start, st.End, st.End-st.Start)
+		fmt.Fprintf(stdout, "    %-34s %7.3f -> %7.3f (%6.3f s)\n", st.Name, st.Start, st.End, st.End-st.Start)
 	}
 	if mode == livecluster.ModePush {
 		ids := make([]int, 0, len(stats.AggregatorsByShuffle))
@@ -218,16 +427,16 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOp
 		}
 		sort.Ints(ids)
 		for _, id := range ids {
-			fmt.Printf("  shuffle %d aggregated at worker(s) %v\n", id, stats.AggregatorsByShuffle[id])
+			fmt.Fprintf(stdout, "  shuffle %d aggregated at worker(s) %v\n", id, stats.AggregatorsByShuffle[id])
 		}
 	}
 	if opts.matrix {
-		fmt.Println()
-		fmt.Print(liveMatrix(stats))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, liveMatrix(stats))
 	}
 	if opts.gantt {
-		fmt.Println()
-		fmt.Print(tracer.Gantt(cluster.Topology(), 110))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, tracer.Gantt(cluster.Topology(), 110))
 	}
 	if opts.chrome != "" {
 		f, err := os.Create(opts.chrome)
@@ -241,20 +450,21 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOp
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("  Chrome trace written to %s\n", opts.chrome)
+		fmt.Fprintf(stdout, "  Chrome trace written to %s\n", opts.chrome)
 	}
 	if opts.report != "" {
-		if err := writeReport(opts.report, stats.RunReport(name, tracer)); err != nil {
+		if err := writeReport(opts.report, runRep); err != nil {
 			return err
 		}
-		fmt.Printf("  run report written to %s\n", opts.report)
+		fmt.Fprintf(stdout, "  run report written to %s\n", opts.report)
 	}
 	if opts.validate {
 		if err := inst.Validate(out); err != nil {
 			return fmt.Errorf("validation failed: %w", err)
 		}
-		fmt.Println("  output validated against the in-memory reference ✓")
+		fmt.Fprintln(stdout, "  output validated against the in-memory reference ✓")
 	}
+	lingerTelemetry(tel, opts.obs, stdout)
 	return nil
 }
 

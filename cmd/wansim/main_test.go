@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncWriter is a goroutine-safe buffer for capturing run() output while
+// the test polls it.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+var urlRe = regexp.MustCompile(`serving at (http://[^ ]+) `)
+
+// TestReportEndpointMatchesReportFile runs wansim with both -report and
+// -telemetry-addr and checks GET /report returns byte-for-byte the JSON
+// the -report flag wrote: one report object, one encoding path, in both
+// backends.
+func TestReportEndpointMatchesReportFile(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"sim", nil},
+		{"live", []string{"-live"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "report.json")
+			out := &syncWriter{}
+			args := append([]string{
+				"-workload", "wordcount", "-scale", "0.02", "-log-level", "off",
+				"-telemetry-addr", "127.0.0.1:0", "-telemetry-linger", "10s",
+				"-report", path,
+			}, tc.args...)
+			done := make(chan error, 1)
+			go func() { done <- run(args, out) }()
+
+			var url string
+			waitTest(t, "telemetry URL in output", func() bool {
+				if m := urlRe.FindStringSubmatch(out.String()); m != nil {
+					url = m[1]
+					return true
+				}
+				return false
+			})
+			waitTest(t, "report file", func() bool {
+				return strings.Contains(out.String(), "run report written")
+			})
+			fileBytes, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			resp, err := http.Get(url + "/report")
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET /report: %d", resp.StatusCode)
+			}
+			if !bytes.Equal(body, fileBytes) {
+				t.Fatalf("GET /report diverges from the -report file:\nendpoint %d bytes\nfile %d bytes", len(body), len(fileBytes))
+			}
+
+			// The metrics endpoint serves the same run's counters.
+			resp, err = http.Get(url + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			metrics, err := io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(string(metrics), "tasks_total") ||
+				!strings.Contains(string(metrics), "bytes_moved_total") {
+				t.Fatalf("metrics missing expected series:\n%s", metrics)
+			}
+			// Don't sit out the linger window; the goroutine dies with the
+			// test process.
+		})
+	}
+}
+
+func TestBuildLoggerLevels(t *testing.T) {
+	for _, lvl := range []string{"debug", "info", "warn", "error"} {
+		if l, err := buildLogger(lvl); err != nil || l == nil {
+			t.Fatalf("level %q: logger=%v err=%v", lvl, l, err)
+		}
+	}
+	if l, err := buildLogger("off"); err != nil || l != nil {
+		t.Fatalf("off: logger=%v err=%v", l, err)
+	}
+	if _, err := buildLogger("loud"); err == nil {
+		t.Fatal("bogus level accepted")
+	}
+}
+
+func waitTest(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -17,6 +17,7 @@ package exec
 
 import (
 	"fmt"
+	"log/slog"
 
 	"wanshuffle/internal/dag"
 	"wanshuffle/internal/obs"
@@ -117,6 +118,10 @@ type Config struct {
 	Net   simnet.Config
 	// Trace enables span recording (Gantt timelines).
 	Trace bool
+	// Logger receives structured run logs (job and stage windows, task
+	// failures and retries) with stage/task attributes; times are virtual
+	// seconds. Nil discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -165,6 +170,7 @@ type Engine struct {
 	Events *obs.Collector
 
 	cfg      Config
+	log      *slog.Logger
 	retry    plan.Retry
 	reg      *shuffle.Registry
 	noiseRNG sim.RNG
@@ -172,6 +178,12 @@ type Engine struct {
 	aggRNG   sim.RNG
 
 	cache map[int][]*cachedPart // RDD ID → per-partition cached copies
+
+	// Fractional-byte remainders per traffic class, carrying the sub-byte
+	// residue of continuous flow deliveries between integer counter
+	// increments (bytes_moved_total / bytes_cross_dc_total).
+	byteRem  map[string]float64
+	crossRem map[string]float64
 
 	deadHosts []bool
 	// producers maps shuffle ID → the stage that computes its map output,
@@ -203,21 +215,53 @@ func New(topo *topology.Topology, seed int64, cfg Config) *Engine {
 		Sched:      sched.New(clock, topo, cfg.Sched),
 		Events:     obs.NewCollector(),
 		cfg:        cfg,
+		log:        obs.LoggerOr(cfg.Logger),
 		retry:      plan.Retry{Max: cfg.MaxAttempts},
 		reg:        shuffle.NewRegistry(),
 		noiseRNG:   sim.Stream(seed, "exec.noise"),
 		failRNG:    sim.Stream(seed, "exec.failure"),
 		aggRNG:     sim.Stream(seed, "exec.aggpolicy"),
 		cache:      make(map[int][]*cachedPart),
+		byteRem:    make(map[string]float64),
+		crossRem:   make(map[string]float64),
 		deadHosts:  make([]bool, topo.NumHosts()),
 		producers:  make(map[int]*stageState),
 		recovering: make(map[recoveryKey]bool),
 	}
 	e.scheduleHostFailures()
+	// Mirror every delivered byte into the metrics registry, live as the
+	// simulation advances, so mid-run /metrics scrapes watch the same
+	// bytes_moved_total{class} counters the live cluster maintains.
+	e.Net.SetDeliveryObserver(e.mirrorDelivery)
 	if cfg.Trace {
 		e.Tracer = &trace.Recorder{}
 	}
 	return e
+}
+
+// mirrorDelivery folds one (possibly fractional) delivered-byte increment
+// into the registry's integer counters, carrying the remainder. Runs
+// inside the single-threaded simulation loop; the registry itself is
+// concurrency-safe for scrapers.
+func (e *Engine) mirrorDelivery(tag string, bytes float64, crossDC bool) {
+	reg := e.Events.Registry()
+	if r := e.byteRem[tag] + bytes; r >= 1 {
+		whole := int64(r)
+		reg.Counter("bytes_moved_total", obs.Labels{"class": tag}).Add(whole)
+		e.byteRem[tag] = r - float64(whole)
+	} else {
+		e.byteRem[tag] = r
+	}
+	if !crossDC {
+		return
+	}
+	if r := e.crossRem[tag] + bytes; r >= 1 {
+		whole := int64(r)
+		reg.Counter("bytes_cross_dc_total", obs.Labels{"class": tag}).Add(whole)
+		e.crossRem[tag] = r - float64(whole)
+	} else {
+		e.crossRem[tag] = r
+	}
 }
 
 // AggregatorPolicy selects the automatic-aggregation rule (ablations of
@@ -395,6 +439,7 @@ func (e *Engine) RunMany(specs []JobSpec) ([]*Result, error) {
 	}
 	e.activeJobs = len(jobs)
 	for i, spec := range specs {
+		e.log.Info("exec: job starting", "job", i, "stages", len(jobs[i].stages), "t", e.Clock.Now())
 		e.startJob(jobs[i], spec.Opts)
 	}
 
@@ -425,9 +470,12 @@ func (e *Engine) RunMany(specs []JobSpec) ([]*Result, error) {
 	results := make([]*Result, len(jobs))
 	for i, job := range jobs {
 		if job.err != nil {
+			e.log.Error("exec: job failed", "job", i, "err", job.err)
 			return nil, job.err
 		}
 		results[i] = e.report(job)
+		e.log.Info("exec: job finished", "job", i,
+			"jct_sec", results[i].JCT, "retries", results[i].Retries)
 	}
 	return results, nil
 }

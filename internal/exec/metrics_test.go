@@ -1,0 +1,48 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"wanshuffle/internal/rdd"
+	"wanshuffle/internal/topology"
+)
+
+// TestByteCountersMirrorNetwork checks the engine mirrors delivered bytes
+// into bytes_moved_total{class} / bytes_cross_dc_total{class} counters:
+// per-class totals must match the network's own accounting to within the
+// sub-byte remainder each class carries.
+func TestByteCountersMirrorNetwork(t *testing.T) {
+	topo := topology.SixRegionEC2()
+	g := rdd.NewGraph()
+	eng := New(topo, 1, Config{})
+	res, err := eng.Run(wordCount(spreadInput(g, topo, 10*mb), 8), ActionCollect, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var moved, cross float64
+	byClass := map[string]float64{}
+	for _, p := range eng.Events.Registry().Snapshot() {
+		switch p.Name {
+		case "bytes_moved_total":
+			moved += p.Value
+		case "bytes_cross_dc_total":
+			cross += p.Value
+			byClass[p.Labels["class"]] += p.Value
+		}
+	}
+	if moved < eng.Net.TotalBytes()-16 || moved > eng.Net.TotalBytes() {
+		t.Fatalf("bytes_moved_total sums to %v, network delivered %v", moved, eng.Net.TotalBytes())
+	}
+	if cross < res.CrossDCBytes-16 || cross > res.CrossDCBytes {
+		t.Fatalf("bytes_cross_dc_total sums to %v, cross-DC bytes %v", cross, res.CrossDCBytes)
+	}
+	for tag, want := range res.CrossDCByTag {
+		if got := byClass[tag]; math.Abs(got-want) > 2 {
+			t.Fatalf("bytes_cross_dc_total{class=%q} = %v, want ~%v", tag, got, want)
+		}
+	}
+	if _, ok := byClass["shuffle"]; !ok {
+		t.Fatalf("no shuffle-class counter: %v", byClass)
+	}
+}

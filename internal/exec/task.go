@@ -18,6 +18,7 @@ func (e *Engine) launchStage(ss *stageState) {
 		return
 	}
 	ss.launched = true
+	e.log.Debug("exec: stage starting", "stage", ss.st.Name(), "id", ss.st.ID, "tasks", ss.st.NumTasks, "t", e.Clock.Now())
 	ss.span = StageSpan{ID: ss.st.ID, Name: ss.st.Name(), Start: e.Clock.Now()}
 	ss.phaseDone = make([]int, len(ss.st.Phases))
 	ss.heldHandoffs = make([][]func(), len(ss.st.Phases))
@@ -208,6 +209,12 @@ func (e *Engine) taskEvent(phase obs.TaskPhase, t *taskRun, site int, err error)
 		ev.Err = err.Error()
 	}
 	e.Events.OnTask(ev)
+	switch phase {
+	case obs.PhaseFailed:
+		e.log.Warn("exec: task attempt failed", "task", t.name(), "site", site, "t", ev.Time, "err", ev.Err)
+	case obs.PhaseRetried:
+		e.log.Debug("exec: task retried", "task", t.name(), "t", ev.Time)
+	}
 }
 
 func (e *Engine) submitTask(t *taskRun) {
@@ -709,6 +716,7 @@ func (e *Engine) taskDone(ss *stageState) {
 	ss.completed = true
 	ss.specTimer.Cancel()
 	ss.span.End = e.Clock.Now()
+	e.log.Debug("exec: stage finished", "stage", ss.st.Name(), "id", ss.st.ID, "sec", ss.span.End-ss.span.Start)
 	e.Events.OnStage(ss.span)
 	if ss.st.OutSpec != nil {
 		e.reg.Finalize(ss.st.OutSpec.ID)

@@ -94,11 +94,20 @@ func (r *liveRun) InputSizes(st *dag.Stage) []float64 {
 // it locally for later fetches.
 func (r *liveRun) RunMapTask(st *dag.Stage, part, site, aggTo int) error {
 	w := r.c.workers[site]
+	if w.closed.Load() {
+		return fmt.Errorf("livecluster: worker %d is down", site)
+	}
 	t0 := r.since()
 	lastFetch := t0
 	recs, err := plan.EvalStagePart(st, part, r.reader(site, st.ID, &lastFetch))
 	if err != nil {
 		return err
+	}
+	if w.closed.Load() {
+		// The worker died under the task; its output cannot be stored or
+		// pushed from a dead site. Fail the attempt so the driver
+		// re-places it on a healthy worker.
+		return fmt.Errorf("livecluster: worker %d died during map task %s/t%d", site, st.Name(), part)
 	}
 	prepared := rdd.MapSidePrepare(st.OutSpec, recs)
 	// The compute span runs from the last shuffle read (t0 for leaf
@@ -129,6 +138,9 @@ func (r *liveRun) RunMapTask(st *dag.Stage, part, site, aggTo int) error {
 
 // RunResultTask implements plan.Backend.
 func (r *liveRun) RunResultTask(st *dag.Stage, part, site int) ([]rdd.Pair, error) {
+	if r.c.workers[site].closed.Load() {
+		return nil, fmt.Errorf("livecluster: worker %d is down", site)
+	}
 	t0 := r.since()
 	lastFetch := t0
 	recs, err := plan.EvalStagePart(st, part, r.reader(site, st.ID, &lastFetch))
@@ -170,10 +182,13 @@ func (r *liveRun) OnTask(ev obs.TaskEvent) { r.stats.Events.OnTask(ev) }
 // OnStage implements plan.Backend (obs.Sink).
 func (r *liveRun) OnStage(span plan.StageSpan) {
 	r.stats.Events.OnStage(span)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.stats.StageSpans = append(r.stats.StageSpans, span)
+	r.stats.addStageSpan(span)
 }
+
+// SiteHealthy implements plan.SiteHealth: a worker is healthy while it is
+// open and (with heartbeats enabled) its heartbeats are fresh. The driver
+// re-places retried task attempts away from unhealthy sites.
+func (r *liveRun) SiteHealthy(site int) bool { return r.c.workerHealthy(site) }
 
 // reader builds the ShuffleReader tasks at one worker gather their shuffle
 // input through: every map output's shard is fetched over TCP from its

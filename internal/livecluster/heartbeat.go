@@ -1,0 +1,360 @@
+package livecluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"wanshuffle/internal/obs"
+	"wanshuffle/internal/trace"
+)
+
+// Worker→driver heartbeats. Each worker buffers its data-plane telemetry
+// (per-(src,dst,class) byte deltas, request and dial counts, completed
+// receive spans) in a workerTel and ships the buffer to the driver's
+// heartbeat listener on a ticker, over a dedicated gob/TCP connection that
+// is deliberately NOT byte-counted — heartbeats are control plane, and
+// counting them would pollute the traffic matrix whose total must equal
+// BytesOverTCP. The driver merges each beat into the running job's Stats,
+// so mid-run /metrics and /report snapshots converge continuously instead
+// of jumping at job end. A final in-process flush at the end of Run drains
+// whatever the tickers had not shipped yet, so post-run totals are exact
+// regardless of heartbeat timing.
+
+// flowSink receives one data-plane exchange's accounting. Stats implements
+// it for direct (driver-side) accounting; workerTel implements it to
+// buffer worker-side accounting for the next heartbeat.
+type flowSink interface {
+	// flow accounts one exchange's payload bytes from site src to dst
+	// under a traffic class.
+	flow(src, dst int, class string, n int64)
+	// dial accounts one fresh TCP connection.
+	dial()
+	// op accounts one successful request by purpose.
+	op(kind requestKind)
+}
+
+// flowKey identifies one traffic-matrix cell per class.
+type flowKey struct {
+	src, dst int
+	class    string
+}
+
+// flowDelta is one accumulated matrix cell on the wire.
+type flowDelta struct {
+	Src, Dst int
+	Class    string
+	Bytes    int64
+}
+
+// heartbeat is one worker's telemetry delta since its previous beat.
+type heartbeat struct {
+	Worker                   int
+	Flows                    []flowDelta
+	Pushes, Fetches, Samples int64
+	Dials                    int64
+	Spans                    []trace.Span
+}
+
+// hbAck acknowledges a merged heartbeat; the worker drains its buffer only
+// after the driver confirms, so telemetry survives a failed send.
+type hbAck struct{ OK bool }
+
+// workerTel buffers one worker's telemetry between heartbeats.
+type workerTel struct {
+	mu    sync.Mutex
+	flows map[flowKey]int64
+	ops   map[requestKind]int64
+	dials int64
+	spans []trace.Span
+}
+
+func newWorkerTel() *workerTel {
+	return &workerTel{flows: map[flowKey]int64{}, ops: map[requestKind]int64{}}
+}
+
+// flow implements flowSink.
+func (t *workerTel) flow(src, dst int, class string, n int64) {
+	t.mu.Lock()
+	t.flows[flowKey{src, dst, class}] += n
+	t.mu.Unlock()
+}
+
+// dial implements flowSink.
+func (t *workerTel) dial() {
+	t.mu.Lock()
+	t.dials++
+	t.mu.Unlock()
+}
+
+// op implements flowSink.
+func (t *workerTel) op(kind requestKind) {
+	t.mu.Lock()
+	t.ops[kind]++
+	t.mu.Unlock()
+}
+
+// addSpan buffers a completed span for the next beat.
+func (t *workerTel) addSpan(s trace.Span) {
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// drain swaps the buffer out and returns it as a heartbeat payload.
+func (t *workerTel) drain() heartbeat {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	hb := heartbeat{
+		Pushes:  t.ops[reqPush],
+		Fetches: t.ops[reqFetch],
+		Samples: t.ops[reqSample],
+		Dials:   t.dials,
+		Spans:   t.spans,
+	}
+	for k, n := range t.flows {
+		hb.Flows = append(hb.Flows, flowDelta{Src: k.src, Dst: k.dst, Class: k.class, Bytes: n})
+	}
+	t.flows = map[flowKey]int64{}
+	t.ops = map[requestKind]int64{}
+	t.dials = 0
+	t.spans = nil
+	return hb
+}
+
+// restore merges a drained heartbeat back after a failed send, so no
+// telemetry is lost to a flaky exchange.
+func (t *workerTel) restore(hb heartbeat) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, f := range hb.Flows {
+		t.flows[flowKey{f.Src, f.Dst, f.Class}] += f.Bytes
+	}
+	t.ops[reqPush] += hb.Pushes
+	t.ops[reqFetch] += hb.Fetches
+	t.ops[reqSample] += hb.Samples
+	t.dials += hb.Dials
+	t.spans = append(hb.Spans, t.spans...)
+}
+
+// hbEnabled reports whether heartbeating is on for this cluster.
+func (c *Cluster) hbEnabled() bool { return c.cfg.HeartbeatInterval > 0 }
+
+// serveHeartbeats accepts worker heartbeat connections on the driver's
+// listener and merges every beat into the running job's stats.
+func (c *Cluster) serveHeartbeats() {
+	defer c.hbWG.Done()
+	var connWG sync.WaitGroup
+	defer connWG.Wait()
+	for {
+		conn, err := c.hbLn.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.hbConnMu.Lock()
+		c.hbConns[conn] = true
+		c.hbConnMu.Unlock()
+		connWG.Add(1)
+		go func() {
+			defer connWG.Done()
+			defer func() {
+				c.hbConnMu.Lock()
+				delete(c.hbConns, conn)
+				c.hbConnMu.Unlock()
+				_ = conn.Close()
+			}()
+			dec := gob.NewDecoder(conn)
+			enc := gob.NewEncoder(conn)
+			for {
+				var hb heartbeat
+				if err := dec.Decode(&hb); err != nil {
+					return
+				}
+				c.mergeHeartbeat(hb)
+				if err := enc.Encode(hbAck{OK: true}); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// mergeHeartbeat folds one worker's telemetry delta into the current job's
+// stats (bytes, matrix, class splits, request counters, receive spans) and
+// stamps the worker's liveness clock. Called both from the heartbeat
+// listener and from the end-of-run flush.
+func (c *Cluster) mergeHeartbeat(hb heartbeat) {
+	if hb.Worker >= 0 && hb.Worker < len(c.lastBeat) {
+		c.lastBeat[hb.Worker].Store(time.Now().UnixNano())
+	}
+	run := c.curRun.Load()
+	if run == nil {
+		return
+	}
+	run.stats.merge(hb, c.cfg.Trace)
+	run.stats.Events.Registry().Counter("heartbeats_total", obs.Labels{"worker": fmt.Sprintf("w%d", hb.Worker)}).Inc()
+	c.log.Debug("livecluster: heartbeat merged", "worker", hb.Worker, "flows", len(hb.Flows), "spans", len(hb.Spans))
+}
+
+// flushTelemetry drains every worker's buffer directly into the current
+// job's stats, in-process. Holding each worker's hbMu excludes an
+// in-flight ticker exchange, so every datum is merged exactly once and the
+// job's post-run totals are exact.
+func (c *Cluster) flushTelemetry() {
+	if !c.hbEnabled() {
+		return
+	}
+	for _, w := range c.workers {
+		w.hbMu.Lock()
+		hb := w.tel.drain()
+		hb.Worker = w.id
+		c.mergeHeartbeat(hb)
+		w.hbMu.Unlock()
+	}
+}
+
+// startHeartbeats begins the worker's ticker loop.
+func (w *worker) startHeartbeats(interval time.Duration) {
+	w.stopHB = make(chan struct{})
+	w.hbWG.Add(1)
+	go func() {
+		defer w.hbWG.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-w.stopHB:
+				return
+			case <-tick.C:
+				w.sendHeartbeat()
+			}
+		}
+	}()
+}
+
+// sendHeartbeat drains the worker's buffer and ships it to the driver,
+// holding hbMu across the full exchange so the end-of-run flush serializes
+// against it. A failed send restores the buffer for the next attempt.
+func (w *worker) sendHeartbeat() {
+	w.hbMu.Lock()
+	defer w.hbMu.Unlock()
+	hb := w.tel.drain()
+	hb.Worker = w.id
+	if err := w.exchangeHeartbeat(hb); err != nil {
+		w.tel.restore(hb)
+		w.dropHBConn()
+	}
+}
+
+// exchangeHeartbeat runs one beat over the worker's dedicated (uncounted)
+// driver connection, dialing it on first use. Callers hold hbMu.
+func (w *worker) exchangeHeartbeat(hb heartbeat) error {
+	if w.hbConn == nil {
+		conn, err := net.Dial("tcp", w.cluster.hbAddr)
+		if err != nil {
+			return err
+		}
+		w.hbConn = conn
+		w.hbEnc = gob.NewEncoder(conn)
+		w.hbDec = gob.NewDecoder(conn)
+	}
+	if err := w.hbEnc.Encode(&hb); err != nil {
+		return err
+	}
+	var ack hbAck
+	if err := w.hbDec.Decode(&ack); err != nil {
+		return err
+	}
+	if !ack.OK {
+		return fmt.Errorf("livecluster: worker %d heartbeat rejected", w.id)
+	}
+	return nil
+}
+
+// dropHBConn discards the dedicated heartbeat connection after an error.
+// Callers hold hbMu.
+func (w *worker) dropHBConn() {
+	if w.hbConn != nil {
+		_ = w.hbConn.Close()
+		w.hbConn = nil
+		w.hbEnc = nil
+		w.hbDec = nil
+	}
+}
+
+// HeartbeatAges returns each worker's time since its last merged
+// heartbeat. Without heartbeats enabled every age is zero.
+func (c *Cluster) HeartbeatAges() []time.Duration {
+	out := make([]time.Duration, len(c.workers))
+	if !c.hbEnabled() {
+		return out
+	}
+	now := time.Now().UnixNano()
+	for i := range c.lastBeat {
+		out[i] = time.Duration(now - c.lastBeat[i].Load())
+	}
+	return out
+}
+
+// StaleWorkers returns the workers currently considered dead: closed, or
+// silent for longer than Config.StaleAfter (with heartbeats enabled).
+func (c *Cluster) StaleWorkers() []int {
+	var out []int
+	for i := range c.workers {
+		if !c.workerHealthy(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// workerHealthy reports whether worker i can take tasks: not closed, and
+// not heartbeat-stale.
+func (c *Cluster) workerHealthy(i int) bool {
+	if i < 0 || i >= len(c.workers) || c.workers[i].closed.Load() {
+		return false
+	}
+	if c.hbEnabled() {
+		age := time.Duration(time.Now().UnixNano() - c.lastBeat[i].Load())
+		if age > c.cfg.StaleAfter {
+			return false
+		}
+	}
+	return true
+}
+
+// RefreshLiveness publishes each worker's heartbeat age as the
+// worker_heartbeat_age_sec gauge in the current (or last) job's registry.
+// Telemetry scrape paths call it so /metrics always carries fresh ages.
+func (c *Cluster) RefreshLiveness() {
+	if !c.hbEnabled() {
+		return
+	}
+	var reg *obs.Registry
+	if run := c.curRun.Load(); run != nil {
+		reg = run.stats.Events.Registry()
+	} else if s := c.lastStats.Load(); s != nil {
+		reg = s.Events.Registry()
+	}
+	if reg == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	for i := range c.lastBeat {
+		age := float64(now-c.lastBeat[i].Load()) / 1e9
+		reg.Gauge("worker_heartbeat_age_sec", obs.Labels{"worker": fmt.Sprintf("w%d", i)}).Set(age)
+	}
+}
+
+// KillWorker shuts worker i down mid-run — listener, stored outputs,
+// pooled connections, heartbeats — simulating a worker death for failover
+// testing. The driver's retry path re-places its tasks via SiteHealthy.
+func (c *Cluster) KillWorker(i int) {
+	if i < 0 || i >= len(c.workers) {
+		return
+	}
+	c.log.Warn("livecluster: killing worker", "worker", i)
+	c.workers[i].close()
+}

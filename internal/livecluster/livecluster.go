@@ -31,6 +31,8 @@ package livecluster
 import (
 	"encoding/gob"
 	"fmt"
+	"log/slog"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,6 +86,21 @@ type Config struct {
 	// Trace, when non-nil, records per-task spans (wall-clock seconds
 	// since the job started).
 	Trace *trace.SyncRecorder
+	// HeartbeatInterval is the period of worker→driver telemetry
+	// heartbeats: each worker buffers its data-plane accounting (bytes by
+	// (src,dst,class), request and dial counts, receive spans) and ships
+	// the delta to the driver on this ticker, so mid-run telemetry
+	// snapshots converge continuously. Zero means the 50ms default;
+	// negative disables heartbeats (all accounting then lands in Stats
+	// directly, converging only as each request completes).
+	HeartbeatInterval time.Duration
+	// StaleAfter is how long a worker may go without a merged heartbeat
+	// before SiteHealthy / StaleWorkers report it dead. Zero means 1s.
+	// Only meaningful with heartbeats enabled.
+	StaleAfter time.Duration
+	// Logger receives structured cluster logs (worker lifecycle,
+	// heartbeat merges, kills) with worker attributes. Nil discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +112,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TasksPerWorker <= 0 {
 		c.TasksPerWorker = 2
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 50 * time.Millisecond
+	} else if c.HeartbeatInterval < 0 {
+		c.HeartbeatInterval = 0 // disabled
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = time.Second
 	}
 	return c
 }
@@ -117,6 +142,19 @@ type Cluster struct {
 	// curRun is the job currently executing, so server-side handlers
 	// (push receives) can record spans against its clock.
 	curRun atomic.Pointer[liveRun]
+	// lastStats keeps the most recently completed job's stats reachable
+	// for telemetry endpoints after Run returns.
+	lastStats atomic.Pointer[Stats]
+	log       *slog.Logger
+
+	// Heartbeat plane: the driver's listener, its accepted connections,
+	// and each worker's last-beat clock (unix nanos).
+	hbLn     net.Listener
+	hbAddr   string
+	hbWG     sync.WaitGroup
+	hbConnMu sync.Mutex
+	hbConns  map[net.Conn]bool
+	lastBeat []atomic.Int64
 }
 
 // Stats reports the data-plane activity of one job.
@@ -158,20 +196,80 @@ type Stats struct {
 	// a metrics registry mirroring them.
 	Events *obs.Collector
 
-	matMu sync.Mutex
+	// mu guards BytesOverTCP, TrafficMatrix, BytesByClass, StageSpans,
+	// CompletionSec, and Retries against concurrent scrapes; the request
+	// counters (Push/Fetch/Sample/Dials) are atomics.
+	mu sync.Mutex
 }
 
-// addFlow accounts one request/response exchange's payload bytes to the
-// (src,dst) traffic matrix and its traffic class.
-func (s *Stats) addFlow(src, dst int, class string, n int64) {
-	s.matMu.Lock()
-	defer s.matMu.Unlock()
+// flow implements flowSink: account one exchange's payload bytes into the
+// byte total, the (src,dst) traffic matrix cell, the class split, and the
+// bytes_moved_total{class} counter — all under one lock, so the matrix
+// total equals BytesOverTCP at every instant a scraper could observe.
+func (s *Stats) flow(src, dst int, class string, n int64) {
+	s.mu.Lock()
+	s.BytesOverTCP += n
 	if src >= 0 && src < len(s.TrafficMatrix) && dst >= 0 && dst < len(s.TrafficMatrix) {
 		s.TrafficMatrix[src][dst] += n
 	}
 	if s.BytesByClass != nil {
 		s.BytesByClass[class] += n
 	}
+	s.mu.Unlock()
+	s.Events.Registry().Counter("bytes_moved_total", obs.Labels{"class": class}).Add(n)
+}
+
+// dial implements flowSink.
+func (s *Stats) dial() { atomic.AddInt64(&s.Dials, 1) }
+
+// op implements flowSink.
+func (s *Stats) op(kind requestKind) {
+	switch kind {
+	case reqPush:
+		atomic.AddInt64(&s.PushConnections, 1)
+	case reqFetch:
+		atomic.AddInt64(&s.FetchConnections, 1)
+	case reqSample:
+		atomic.AddInt64(&s.SampleRequests, 1)
+	}
+}
+
+// merge folds one heartbeat's deltas into the stats, routing its receive
+// spans to the job's trace recorder.
+func (s *Stats) merge(hb heartbeat, tr *trace.SyncRecorder) {
+	for _, f := range hb.Flows {
+		s.flow(f.Src, f.Dst, f.Class, f.Bytes)
+	}
+	atomic.AddInt64(&s.PushConnections, hb.Pushes)
+	atomic.AddInt64(&s.FetchConnections, hb.Fetches)
+	atomic.AddInt64(&s.SampleRequests, hb.Samples)
+	atomic.AddInt64(&s.Dials, hb.Dials)
+	for _, sp := range hb.Spans {
+		tr.Add(sp)
+	}
+}
+
+// BytesMoved returns the payload bytes moved so far, safe to call while
+// the job is still running (progress lines, telemetry scrapes).
+func (s *Stats) BytesMoved() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.BytesOverTCP
+}
+
+// addStageSpan records one completed stage window.
+func (s *Stats) addStageSpan(span plan.StageSpan) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.StageSpans = append(s.StageSpans, span)
+}
+
+// setCompletion records the job's final duration and retry count.
+func (s *Stats) setCompletion(sec float64, retries int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.CompletionSec = sec
+	s.Retries = retries
 }
 
 // MatrixLabels names the traffic matrix's rows and columns: one per
@@ -186,9 +284,14 @@ func (s *Stats) MatrixLabels() []string {
 
 // RunReport assembles the canonical JSON run report for this job. tr is
 // the trace recorder the job ran with (Config.Trace); a nil recorder
-// yields a report without task summaries.
+// yields a report without task summaries. It is safe to call while the
+// job is still running — the telemetry plane's /report endpoint serves
+// exactly this snapshot mid-run, with the same code path as the final
+// report, so a mid-run traffic matrix always sums to the bytes moved so
+// far and completion-only fields stay zero until the run finishes.
 func (s *Stats) RunReport(workload string, tr *trace.SyncRecorder) *obs.Report {
 	labels := s.MatrixLabels()
+	s.mu.Lock()
 	matrix := make([][]float64, len(s.TrafficMatrix))
 	for i, row := range s.TrafficMatrix {
 		matrix[i] = make([]float64, len(row))
@@ -200,27 +303,34 @@ func (s *Stats) RunReport(workload string, tr *trace.SyncRecorder) *obs.Report {
 	for class, v := range s.BytesByClass {
 		byClass[class] = float64(v)
 	}
+	stages := append([]plan.StageSpan(nil), s.StageSpans...)
+	completion := s.CompletionSec
+	retries := s.Retries
+	bytesTotal := float64(s.BytesOverTCP)
+	s.mu.Unlock()
 	return &obs.Report{
 		Schema:         obs.SchemaVersion,
 		Backend:        "live",
 		Workload:       workload,
 		Scheme:         s.Mode.String(),
 		Sites:          labels[:len(s.ShardsByWorker)],
-		CompletionSec:  s.CompletionSec,
-		Stages:         s.StageSpans,
+		CompletionSec:  completion,
+		Stages:         stages,
 		TrafficByClass: byClass,
 		MatrixLabels:   labels,
 		TrafficMatrix:  matrix,
-		Tasks:          obs.TaskSummaries(tr.Spans(), obs.StageNames(s.StageSpans)),
+		Tasks:          obs.TaskSummaries(tr.Spans(), obs.StageNames(stages)),
 		TaskAttempts:   s.Events.CountPhase(obs.PhaseStarted),
-		Retries:        s.Retries,
-		Dials:          s.Dials,
-		BytesTotal:     float64(s.BytesOverTCP),
+		Retries:        retries,
+		Dials:          atomic.LoadInt64(&s.Dials),
+		BytesTotal:     bytesTotal,
 		Metrics:        s.Events.Registry().Snapshot(),
 	}
 }
 
-// New starts the workers, each listening on an ephemeral loopback port.
+// New starts the workers, each listening on an ephemeral loopback port,
+// plus (with heartbeats enabled) the driver's heartbeat listener and each
+// worker's heartbeat ticker.
 func New(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	for _, a := range cfg.Aggregators {
@@ -228,7 +338,27 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("livecluster: aggregator %d out of range [0,%d)", a, cfg.Workers)
 		}
 	}
-	c := &Cluster{cfg: cfg, addrIndex: make(map[string]int, cfg.Workers)}
+	c := &Cluster{
+		cfg:       cfg,
+		addrIndex: make(map[string]int, cfg.Workers),
+		log:       obs.LoggerOr(cfg.Logger),
+		hbConns:   make(map[net.Conn]bool),
+		lastBeat:  make([]atomic.Int64, cfg.Workers),
+	}
+	if c.hbEnabled() {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("livecluster: heartbeat listen: %w", err)
+		}
+		c.hbLn = ln
+		c.hbAddr = ln.Addr().String()
+		now := time.Now().UnixNano()
+		for i := range c.lastBeat {
+			c.lastBeat[i].Store(now)
+		}
+		c.hbWG.Add(1)
+		go c.serveHeartbeats()
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		w, err := newWorker(i, c)
 		if err != nil {
@@ -238,11 +368,28 @@ func New(cfg Config) (*Cluster, error) {
 		c.workers = append(c.workers, w)
 		c.addrIndex[w.addr] = i
 	}
+	if c.hbEnabled() {
+		for _, w := range c.workers {
+			w.startHeartbeats(cfg.HeartbeatInterval)
+		}
+	}
+	c.log.Info("livecluster: started", "workers", cfg.Workers, "mode", cfg.Mode.String(),
+		"heartbeat", cfg.HeartbeatInterval, "stale_after", cfg.StaleAfter)
 	return c, nil
 }
 
 // driverSite is the traffic-matrix index of the driver's connection pool.
 func (c *Cluster) driverSite() int { return len(c.workers) }
+
+// CurrentStats returns the stats of the job currently running, falling
+// back to the last completed job's (nil before any job). Telemetry
+// endpoints read mid-run state through it.
+func (c *Cluster) CurrentStats() *Stats {
+	if run := c.curRun.Load(); run != nil {
+		return run.stats
+	}
+	return c.lastStats.Load()
+}
 
 // siteOfAddr resolves a worker address to its matrix index (-1 if
 // unknown).
@@ -266,13 +413,23 @@ func (c *Cluster) Topology() *topology.Topology {
 	return topo
 }
 
-// Close shuts every worker down and drops all pooled connections.
+// Close shuts every worker down and drops all pooled connections, then
+// stops the heartbeat plane.
 func (c *Cluster) Close() {
 	c.pool.closeAll()
 	for _, w := range c.workers {
 		if w != nil {
 			w.close()
 		}
+	}
+	if c.hbLn != nil {
+		_ = c.hbLn.Close()
+		c.hbConnMu.Lock()
+		for conn := range c.hbConns {
+			_ = conn.Close()
+		}
+		c.hbConnMu.Unlock()
+		c.hbWG.Wait()
 	}
 }
 
@@ -319,10 +476,14 @@ func (c *Cluster) Run(target *rdd.RDD) ([]rdd.Pair, *Stats, error) {
 		Aggregators: c.cfg.Aggregators,
 		SiteSlots:   c.cfg.TasksPerWorker,
 		Retry:       plan.Retry{Max: c.cfg.MaxAttempts},
+		Logger:      c.cfg.Logger,
 	})
 	parts, err := drv.Run()
-	stats.CompletionSec = time.Since(run.start).Seconds()
-	stats.Retries = stats.Events.CountPhase(obs.PhaseRetried)
+	// Drain every worker's telemetry buffer before reading the stats, so
+	// totals are exact regardless of heartbeat timing.
+	c.flushTelemetry()
+	stats.setCompletion(time.Since(run.start).Seconds(), stats.Events.CountPhase(obs.PhaseRetried))
+	c.lastStats.Store(stats)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"wanshuffle/internal/rdd"
+	"wanshuffle/internal/topology"
 	"wanshuffle/internal/trace"
 )
 
@@ -24,6 +25,9 @@ const (
 	reqFetch
 	reqSample
 )
+
+// (Heartbeats use their own wire types on a dedicated driver connection —
+// see heartbeat.go — so the data-plane request framing stays untouched.)
 
 type request struct {
 	Kind      requestKind
@@ -57,6 +61,17 @@ type worker struct {
 
 	closed  atomic.Bool
 	serveWG sync.WaitGroup
+
+	// Heartbeat plane: the telemetry buffer, its ticker goroutine, and a
+	// dedicated (uncounted) connection to the driver. hbMu serializes one
+	// full drain→send→ack exchange against the end-of-run flush.
+	tel    *workerTel
+	hbMu   sync.Mutex
+	hbConn net.Conn
+	hbEnc  *gob.Encoder
+	hbDec  *gob.Decoder
+	stopHB chan struct{}
+	hbWG   sync.WaitGroup
 }
 
 func newWorker(id int, c *Cluster) (*worker, error) {
@@ -72,6 +87,7 @@ func newWorker(id int, c *Cluster) (*worker, error) {
 		cluster: c,
 		mapOut:  make(map[outKey][]rdd.Pair),
 		conns:   make(map[net.Conn]bool),
+		tel:     newWorkerTel(),
 	}
 	w.serveWG.Add(1)
 	go w.serve()
@@ -80,6 +96,9 @@ func newWorker(id int, c *Cluster) (*worker, error) {
 
 func (w *worker) close() {
 	if w.closed.CompareAndSwap(false, true) {
+		if w.stopHB != nil {
+			close(w.stopHB)
+		}
 		_ = w.ln.Close()
 		w.pool.closeAll()
 		// Unblock handlers parked in Decode on persistent connections.
@@ -90,6 +109,10 @@ func (w *worker) close() {
 		w.mu.Unlock()
 	}
 	w.serveWG.Wait()
+	w.hbWG.Wait()
+	w.hbMu.Lock()
+	w.dropHBConn()
+	w.hbMu.Unlock()
 }
 
 func (w *worker) serve() {
@@ -140,11 +163,22 @@ func (w *worker) handle(req *request) *response {
 	switch req.Kind {
 	case reqPush:
 		// Receiver occupancy (the paper's V rows): the aggregator side of
-		// a push, recorded against the running job's clock.
+		// a push, recorded against the running job's clock. With
+		// heartbeats enabled the span is buffered worker-side and reaches
+		// the driver's recorder in the next beat.
 		if run := w.cluster.curRun.Load(); run != nil {
 			t0 := run.since()
 			w.storeMapOutput(req.ShuffleID, req.MapPart, req.Records)
-			run.span(trace.KindReceive, w.id, run.stageOfShuffle(req.ShuffleID), req.MapPart, t0)
+			sp := trace.Span{
+				Kind: trace.KindReceive, Host: topology.HostID(w.id),
+				Stage: run.stageOfShuffle(req.ShuffleID), Part: req.MapPart,
+				Start: t0, End: run.since(),
+			}
+			if w.cluster.hbEnabled() {
+				w.tel.addSpan(sp)
+			} else {
+				w.cluster.cfg.Trace.Add(sp)
+			}
 			break
 		}
 		w.storeMapOutput(req.ShuffleID, req.MapPart, req.Records)
@@ -215,38 +249,51 @@ func (w *worker) shard(shuffleID, mapPart, reduce int) ([]rdd.Pair, error) {
 	return buckets[reduce], nil
 }
 
+// sink returns where this worker's data-plane accounting goes: its
+// heartbeat buffer when heartbeats are on, the job's stats directly
+// otherwise.
+func (w *worker) sink(stats *Stats) flowSink {
+	if w.cluster.hbEnabled() {
+		return w.tel
+	}
+	return stats
+}
+
 // push ships a map output partition to a receiver worker over TCP.
 func (w *worker) push(addr string, shuffleID, mapPart int, records []rdd.Pair, stats *Stats) error {
+	sink := w.sink(stats)
 	resp, err := w.pool.call(addr, request{
 		Kind: reqPush, ShuffleID: shuffleID, MapPart: mapPart, Records: records,
-	}, stats, w.id, w.cluster.siteOfAddr(addr))
+	}, sink, w.id, w.cluster.siteOfAddr(addr))
 	if err != nil {
 		return fmt.Errorf("livecluster: push %d/%d to %s: %w", shuffleID, mapPart, addr, err)
 	}
 	if resp.Err != "" {
 		return errors.New(resp.Err)
 	}
-	atomic.AddInt64(&stats.PushConnections, 1)
+	sink.op(reqPush)
 	return nil
 }
 
 // fetch pulls one (map, reduce) shard from its holder over TCP.
 func (w *worker) fetch(addr string, shuffleID, mapPart, reduce int, stats *Stats) ([]rdd.Pair, error) {
+	sink := w.sink(stats)
 	resp, err := w.pool.call(addr, request{
 		Kind: reqFetch, ShuffleID: shuffleID, MapPart: mapPart, Reduce: reduce,
-	}, stats, w.id, w.cluster.siteOfAddr(addr))
+	}, sink, w.id, w.cluster.siteOfAddr(addr))
 	if err != nil {
 		return nil, fmt.Errorf("livecluster: fetch %d/%d/%d from %s: %w", shuffleID, mapPart, reduce, addr, err)
 	}
 	if resp.Err != "" {
 		return nil, errors.New(resp.Err)
 	}
-	atomic.AddInt64(&stats.FetchConnections, 1)
+	sink.op(reqFetch)
 	return resp.Records, nil
 }
 
 // sampleKeys asks a holder for a key sample of one stored map output, on
-// the driver's own connection pool.
+// the driver's own connection pool. Driver-side accounting is always
+// direct — the driver has no heartbeat buffer.
 func (c *Cluster) sampleKeys(addr string, shuffleID, mapPart, max int, stats *Stats) ([]string, error) {
 	resp, err := c.pool.call(addr, request{
 		Kind: reqSample, ShuffleID: shuffleID, MapPart: mapPart, Max: max,
@@ -257,7 +304,7 @@ func (c *Cluster) sampleKeys(addr string, shuffleID, mapPart, max int, stats *St
 	if resp.Err != "" {
 		return nil, errors.New(resp.Err)
 	}
-	atomic.AddInt64(&stats.SampleRequests, 1)
+	stats.op(reqSample)
 	return resp.Keys, nil
 }
 
@@ -295,8 +342,8 @@ type poolSet struct {
 }
 
 // get checks a connection to addr out of the pool, dialing a fresh one
-// (counted in stats.Dials) when none is idle.
-func (ps *poolSet) get(addr string, stats *Stats) (*pooledConn, error) {
+// (accounted via sink.dial) when none is idle.
+func (ps *poolSet) get(addr string, sink flowSink) (*pooledConn, error) {
 	ps.mu.Lock()
 	if n := len(ps.idle[addr]); n > 0 {
 		pc := ps.idle[addr][n-1]
@@ -309,8 +356,8 @@ func (ps *poolSet) get(addr string, stats *Stats) (*pooledConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	if stats != nil {
-		atomic.AddInt64(&stats.Dials, 1)
+	if sink != nil {
+		sink.dial()
 	}
 	cw := &countingConn{Conn: conn}
 	return &pooledConn{conn: cw, enc: gob.NewEncoder(cw), dec: gob.NewDecoder(cw)}, nil
@@ -327,12 +374,13 @@ func (ps *poolSet) put(addr string, pc *pooledConn) {
 }
 
 // call runs one request/response exchange on a pooled connection and
-// accounts the bytes that crossed the socket, both in the global
-// BytesOverTCP total and in the (src, dst) cell of the traffic matrix, so
-// the matrix total always equals BytesOverTCP exactly.
-// Connections that error are dropped, not pooled.
-func (ps *poolSet) call(addr string, req request, stats *Stats, src, dst int) (response, error) {
-	pc, err := ps.get(addr, stats)
+// accounts the bytes that crossed the socket through the sink — directly
+// into the job's stats (byte total, traffic-matrix cell, class split all
+// under one lock, so the matrix total always equals BytesOverTCP exactly)
+// or into a worker's heartbeat buffer, which reaches the same stats on
+// the next beat. Connections that error are dropped, not pooled.
+func (ps *poolSet) call(addr string, req request, sink flowSink, src, dst int) (response, error) {
+	pc, err := ps.get(addr, sink)
 	if err != nil {
 		return response{}, err
 	}
@@ -346,10 +394,8 @@ func (ps *poolSet) call(addr string, req request, stats *Stats, src, dst int) (r
 		pc.close()
 		return response{}, err
 	}
-	if stats != nil {
-		n := pc.conn.bytes.Load() - before
-		atomic.AddInt64(&stats.BytesOverTCP, n)
-		stats.addFlow(src, dst, req.Kind.class(), n)
+	if sink != nil {
+		sink.flow(src, dst, req.Kind.class(), pc.conn.bytes.Load()-before)
 	}
 	ps.put(addr, pc)
 	return resp, nil

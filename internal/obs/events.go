@@ -54,15 +54,49 @@ type Sink interface {
 	OnStage(ev StageEvent)
 }
 
+// Event is one entry of the unified run-event log: either a task
+// lifecycle transition or a completed stage window, in arrival order. It
+// is the wire shape of the telemetry plane's /events stream (one JSON
+// object per line).
+type Event struct {
+	// Seq numbers events in arrival order, starting at 1.
+	Seq   int         `json:"seq"`
+	Type  string      `json:"type"` // "task" | "stage"
+	Task  *TaskEvent  `json:"task,omitempty"`
+	Stage *StageEvent `json:"stage,omitempty"`
+}
+
+// PhaseCounts summarizes a collector's stream for progress displays,
+// maintained incrementally so reading it is O(1).
+type PhaseCounts struct {
+	Scheduled, Started, Finished, Failed, Retried int
+	// StagesDone counts completed stages.
+	StagesDone int
+}
+
+// Running returns the number of task attempts currently executing.
+func (p PhaseCounts) Running() int {
+	n := p.Started - p.Finished - p.Failed
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
 // Collector is the standard Sink: it records every event and mirrors the
 // stream into a metrics registry (obs_tasks_total{phase=...} per stage,
-// obs_stages_total). A nil *Collector discards everything, so callers need
-// no enabled checks.
+// obs_stages_total). Subscribers receive the live event stream for
+// tailing. A nil *Collector discards everything, so callers need no
+// enabled checks.
 type Collector struct {
-	mu     sync.Mutex
-	reg    *Registry
-	tasks  []TaskEvent
-	stages []StageEvent
+	mu      sync.Mutex
+	reg     *Registry
+	tasks   []TaskEvent
+	stages  []StageEvent
+	log     []Event
+	counts  PhaseCounts
+	subs    map[int]chan Event
+	nextSub int
 }
 
 // NewCollector returns a Collector feeding a fresh registry.
@@ -77,6 +111,19 @@ func (c *Collector) OnTask(ev TaskEvent) {
 	}
 	c.mu.Lock()
 	c.tasks = append(c.tasks, ev)
+	switch ev.Phase {
+	case PhaseScheduled:
+		c.counts.Scheduled++
+	case PhaseStarted:
+		c.counts.Started++
+	case PhaseFinished:
+		c.counts.Finished++
+	case PhaseFailed:
+		c.counts.Failed++
+	case PhaseRetried:
+		c.counts.Retried++
+	}
+	c.publish(Event{Type: "task", Task: &ev})
 	c.mu.Unlock()
 	c.reg.Counter("tasks_total", Labels{"phase": string(ev.Phase), "stage": ev.StageName}).Inc()
 }
@@ -88,9 +135,79 @@ func (c *Collector) OnStage(ev StageEvent) {
 	}
 	c.mu.Lock()
 	c.stages = append(c.stages, ev)
+	c.counts.StagesDone++
+	c.publish(Event{Type: "stage", Stage: &ev})
 	c.mu.Unlock()
 	c.reg.Counter("stages_total", nil).Inc()
 	c.reg.Gauge("stage_duration_sec", Labels{"stage": ev.Name}).Set(ev.End - ev.Start)
+}
+
+// publish appends ev to the unified log and fans it out to subscribers.
+// Callers hold c.mu. Slow subscribers whose buffer is full lose the event
+// rather than stalling the run (the log still holds everything).
+func (c *Collector) publish(ev Event) {
+	ev.Seq = len(c.log) + 1
+	c.log = append(c.log, ev)
+	for _, ch := range c.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// Counts returns the stream summary.
+func (c *Collector) Counts() PhaseCounts {
+	if c == nil {
+		return PhaseCounts{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts
+}
+
+// Events returns a copy of the unified event log in arrival order.
+func (c *Collector) Events() []Event {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.log...)
+}
+
+// Subscribe registers a live tail of the event stream: history is a copy
+// of everything recorded so far, and ch carries events published after
+// the snapshot (buffered with buf slots; events overflowing the buffer
+// are dropped for that subscriber). cancel unregisters and closes ch;
+// it is safe to call more than once. A nil collector returns an empty
+// history and a nil channel.
+func (c *Collector) Subscribe(buf int) (history []Event, ch <-chan Event, cancel func()) {
+	if c == nil {
+		return nil, nil, func() {}
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.subs == nil {
+		c.subs = make(map[int]chan Event)
+	}
+	id := c.nextSub
+	c.nextSub++
+	sub := make(chan Event, buf)
+	c.subs[id] = sub
+	history = append([]Event(nil), c.log...)
+	cancel = func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if _, ok := c.subs[id]; ok {
+			delete(c.subs, id)
+			close(sub)
+		}
+	}
+	return history, sub, cancel
 }
 
 // TaskEvents returns a copy of the recorded task events in arrival order.

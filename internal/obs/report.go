@@ -92,6 +92,27 @@ func DecodeReport(r io.Reader) (*Report, error) {
 	return &rep, nil
 }
 
+// InProgressReport assembles a point-in-time snapshot of a running job
+// from its event collector alone: stage windows completed so far, task
+// attempt counts, and the full metrics snapshot. It carries the canonical
+// schema tag so consumers can decode it like a final report; fields only
+// known at completion (completion time, traffic matrix, task summaries)
+// stay zero. Backends with richer live state (the live cluster's Stats)
+// build fuller snapshots themselves.
+func InProgressReport(backend, workload, scheme string, c *Collector) *Report {
+	counts := c.Counts()
+	return &Report{
+		Schema:       SchemaVersion,
+		Backend:      backend,
+		Workload:     workload,
+		Scheme:       scheme,
+		Stages:       c.StageEvents(),
+		TaskAttempts: counts.Started,
+		Retries:      counts.Retried,
+		Metrics:      c.Registry().Snapshot(),
+	}
+}
+
 // summaryKinds are the span kinds that represent task occupancy and feed
 // per-stage duration summaries.
 var summaryKinds = []trace.Kind{trace.KindMap, trace.KindReduce, trace.KindReceive}

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -57,6 +58,16 @@ type Backend interface {
 	obs.Sink
 }
 
+// SiteHealth is an optional Backend extension: backends that can tell a
+// live site from a dead or stale one (the live cluster watches worker
+// heartbeats) implement it, and the Driver then re-places retried task
+// attempts away from unhealthy sites instead of hammering the site that
+// just failed them.
+type SiteHealth interface {
+	// SiteHealthy reports whether the site is fit to run tasks.
+	SiteHealthy(site int) bool
+}
+
 // DriverConfig tunes one driven job.
 type DriverConfig struct {
 	// Aggregate enables Push/Aggregate: each map stage's output is pushed
@@ -78,6 +89,10 @@ type DriverConfig struct {
 	SiteSlots int
 	// Retry is the per-task attempt budget.
 	Retry Retry
+	// Logger receives structured run logs (stage windows, task retries
+	// and failures, aggregator choices) with run/stage/task attributes.
+	// Nil discards.
+	Logger *slog.Logger
 }
 
 // Driver executes a planned job stage-by-stage over a Backend: topological
@@ -88,6 +103,7 @@ type Driver struct {
 	job *Job
 	be  Backend
 	cfg DriverConfig
+	log *slog.Logger
 
 	sems  []chan struct{}
 	start time.Time
@@ -103,7 +119,7 @@ func NewDriver(job *Job, be Backend, cfg DriverConfig) *Driver {
 	if cfg.SiteSlots <= 0 {
 		cfg.SiteSlots = 2
 	}
-	return &Driver{job: job, be: be, cfg: cfg, aggSites: map[int][]int{}}
+	return &Driver{job: job, be: be, cfg: cfg, log: obs.LoggerOr(cfg.Logger), aggSites: map[int][]int{}}
 }
 
 // AggregatedTo returns the sites a shuffle's output was aggregated into
@@ -131,16 +147,19 @@ func (d *Driver) Run() ([][]rdd.Pair, error) {
 	}
 	d.start = time.Now()
 
+	d.log.Info("plan: job starting", "stages", len(d.job.Stages()), "sites", n, "aggregate", d.cfg.Aggregate)
 	var final [][]rdd.Pair
 	for _, st := range d.job.Stages() {
 		out, err := d.runStage(st)
 		if err != nil {
+			d.log.Error("plan: job failed", "stage", st.Name(), "err", err)
 			return nil, err
 		}
 		if st == d.job.Final() {
 			final = out
 		}
 	}
+	d.log.Info("plan: job finished", "sec", d.now())
 	return final, nil
 }
 
@@ -151,6 +170,7 @@ func (d *Driver) now() float64 { return time.Since(d.start).Seconds() }
 func (d *Driver) runStage(st *dag.Stage) ([][]rdd.Pair, error) {
 	spanStart := d.now()
 	agg := d.resolveAggregators(st)
+	d.log.Debug("plan: stage starting", "stage", st.Name(), "id", st.ID, "tasks", st.NumTasks, "aggregators", agg)
 
 	errs := make([]error, st.NumTasks)
 	var results [][]rdd.Pair
@@ -171,7 +191,7 @@ func (d *Driver) runStage(st *dag.Stage) ([][]rdd.Pair, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-d.sems[site] }()
-			errs[part] = d.attempt(st, part, site, func() error {
+			errs[part] = d.attempt(st, part, site, func(site int) error {
 				if st.OutSpec != nil {
 					return d.be.RunMapTask(st, part, site, aggTo)
 				}
@@ -193,6 +213,7 @@ func (d *Driver) runStage(st *dag.Stage) ([][]rdd.Pair, error) {
 		}
 	}
 	d.be.OnStage(StageSpan{ID: st.ID, Name: st.Name(), Start: spanStart, End: d.now()})
+	d.log.Debug("plan: stage finished", "stage", st.Name(), "id", st.ID, "sec", d.now()-spanStart)
 	return results, nil
 }
 
@@ -266,19 +287,43 @@ func (d *Driver) boundarySites(st *dag.Stage) []int {
 }
 
 // attempt runs one task against the retry budget, reporting every
-// transition to the backend's event sink.
-func (d *Driver) attempt(st *dag.Stage, part, site int, run func() error) error {
+// transition to the backend's event sink. Retried attempts are re-placed
+// away from sites the backend reports unhealthy (SiteHealth), so a task
+// whose worker died mid-run fails over instead of retrying into the hole.
+func (d *Driver) attempt(st *dag.Stage, part, site int, run func(site int) error) error {
 	for att := 1; ; att++ {
 		d.taskEvent(obs.PhaseStarted, st, part, site, att, nil)
-		err := run()
+		err := run(site)
 		if err == nil {
 			d.taskEvent(obs.PhaseFinished, st, part, site, att, nil)
 			return nil
 		}
 		d.taskEvent(obs.PhaseFailed, st, part, site, att, err)
+		d.log.Warn("plan: task attempt failed", "stage", st.Name(), "part", part, "site", site, "attempt", att, "err", err)
 		if !d.cfg.Retry.Allow(att + 1) {
 			return fmt.Errorf("plan: task %s/t%d failed after %d attempt(s): %w", st.Name(), part, att, err)
 		}
+		if moved := d.replaceSite(site); moved != site {
+			d.log.Info("plan: re-placing retried task off unhealthy site", "stage", st.Name(), "part", part, "from", site, "to", moved)
+			site = moved
+		}
 		d.taskEvent(obs.PhaseRetried, st, part, site, att+1, nil)
 	}
+}
+
+// replaceSite returns the next healthy site after an attempt failed at
+// site, or site itself when the backend reports it healthy (transient
+// task error), cannot judge health, or has no healthy site to offer.
+func (d *Driver) replaceSite(site int) int {
+	sh, ok := d.be.(SiteHealth)
+	if !ok || sh.SiteHealthy(site) {
+		return site
+	}
+	n := d.be.NumSites()
+	for i := 1; i < n; i++ {
+		if cand := (site + i) % n; sh.SiteHealthy(cand) {
+			return cand
+		}
+	}
+	return site
 }

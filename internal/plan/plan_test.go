@@ -5,10 +5,12 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
 	"wanshuffle/internal/dag"
+	"wanshuffle/internal/obs"
 	"wanshuffle/internal/rdd"
 	"wanshuffle/internal/shuffle"
 	"wanshuffle/internal/topology"
@@ -255,3 +257,120 @@ func (b *flakyBackend) RunMapTask(st *dag.Stage, part, site, aggTo int) error {
 	}
 	return b.MemBackend.RunMapTask(st, part, site, aggTo)
 }
+
+// deadSiteBackend wraps MemBackend with a permanently dead site: every
+// task attempt there fails, and SiteHealth reports it unhealthy. The
+// driver must steer retried attempts to a healthy site, so jobs complete
+// despite the hole.
+type deadSiteBackend struct {
+	*MemBackend
+	dead int
+
+	mu       sync.Mutex
+	attempts []int // sites tried, in attempt order
+}
+
+func (b *deadSiteBackend) note(site int) error {
+	b.mu.Lock()
+	b.attempts = append(b.attempts, site)
+	b.mu.Unlock()
+	if site == b.dead {
+		return fmt.Errorf("dead: site %d is down", site)
+	}
+	return nil
+}
+
+func (b *deadSiteBackend) RunMapTask(st *dag.Stage, part, site, aggTo int) error {
+	if err := b.note(site); err != nil {
+		return err
+	}
+	return b.MemBackend.RunMapTask(st, part, site, aggTo)
+}
+
+func (b *deadSiteBackend) RunResultTask(st *dag.Stage, part, site int) ([]rdd.Pair, error) {
+	if err := b.note(site); err != nil {
+		return nil, err
+	}
+	return b.MemBackend.RunResultTask(st, part, site)
+}
+
+// SiteHealthy implements SiteHealth.
+func (b *deadSiteBackend) SiteHealthy(site int) bool { return site != b.dead }
+
+// TestDriverReplacesTasksOffDeadSite checks the SiteHealth fail-over: with
+// site 0 permanently dead, every task the placer sends there must fail
+// once, be re-placed on a healthy site by the retry path, and succeed —
+// within the default attempt budget, and with the reference output.
+func TestDriverReplacesTasksOffDeadSite(t *testing.T) {
+	build := func() *rdd.RDD {
+		g := rdd.NewGraph()
+		inputs := make([]rdd.InputPartition, 4)
+		for p := 0; p < 4; p++ {
+			inputs[p] = rdd.InputPartition{Host: topology.HostID(p), ModeledBytes: 1,
+				Records: []rdd.Pair{rdd.KV(fmt.Sprintf("k%d", p%2), 1)}}
+		}
+		return g.Input("in", inputs).
+			ReduceByKey("sum", 2, func(a, b rdd.Value) rdd.Value { return a.(int) + b.(int) })
+	}
+	want := canon(rdd.CollectLocal(build()))
+
+	job, err := BuildJob(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := &deadSiteBackend{MemBackend: NewMemBackend(3), dead: 0}
+	drv := NewDriver(job, be, DriverConfig{})
+	parts, err := drv.Run()
+	if err != nil {
+		t.Fatalf("job must survive a dead site via re-placement: %v", err)
+	}
+	var out []rdd.Pair
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	if canon(out) != want {
+		t.Fatal("fail-over output diverges from reference")
+	}
+
+	// Map parts 0,3 and reduce part 0 round-robin onto dead site 0; each
+	// must show exactly one failed attempt there and none after re-placement.
+	deadTries, healthyTries := 0, 0
+	for _, site := range be.attempts {
+		if site == be.dead {
+			deadTries++
+		} else {
+			healthyTries++
+		}
+	}
+	if deadTries != 3 {
+		t.Fatalf("dead-site attempts = %d, want 3 (map t0, map t3, reduce t0): %v", deadTries, be.attempts)
+	}
+	if got := be.Events.CountPhase(obs.PhaseRetried); got != 3 {
+		t.Fatalf("retried events = %d, want 3", got)
+	}
+	if healthyTries < 6 {
+		t.Fatalf("healthy attempts = %d, want >= 6 (every task completes off-site-0)", healthyTries)
+	}
+}
+
+// TestDriverRetriesInPlaceWithoutHealthView checks the degenerate ends of
+// replaceSite: with every site unhealthy there is nowhere to move, so a
+// transiently flaky task retries in place and still succeeds.
+func TestDriverRetriesInPlaceWithoutHealthView(t *testing.T) {
+	g := rdd.NewGraph()
+	target := g.Input("in", []rdd.InputPartition{{Host: 0, ModeledBytes: 1, Records: []rdd.Pair{rdd.KV("a", 1)}}}).
+		ReduceByKey("r", 1, func(a, b rdd.Value) rdd.Value { return a })
+	job, err := BuildJob(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := &allUnhealthyBackend{flakyBackend: &flakyBackend{MemBackend: NewMemBackend(2), failFirst: 1}}
+	if _, err := NewDriver(job, be, DriverConfig{}).Run(); err != nil {
+		t.Fatalf("transient failure with no healthy site should retry in place: %v", err)
+	}
+}
+
+// allUnhealthyBackend reports every site unhealthy.
+type allUnhealthyBackend struct{ *flakyBackend }
+
+func (b *allUnhealthyBackend) SiteHealthy(int) bool { return false }

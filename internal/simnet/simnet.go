@@ -179,6 +179,7 @@ type Network struct {
 	totalBytes     float64     // all delivered bytes, any scope
 	crossDCBytes   float64
 	completedFlows int
+	observer       DeliveryObserver
 
 	util []UtilPoint
 }
@@ -378,7 +379,22 @@ func (n *Network) account(f *Flow, bytes float64) {
 		n.bytesByTag[f.Tag] += bytes
 		n.bytesByPair[f.srcDC][f.dstDC] += bytes
 	}
+	if n.observer != nil {
+		n.observer(f.Tag, bytes, f.crossDC)
+	}
 }
+
+// DeliveryObserver receives every delivered byte increment as it is
+// accounted: the flow's tag, the bytes just delivered (possibly
+// fractional — flows settle continuously), and whether the flow crosses a
+// datacenter boundary. The executor mirrors these increments into its
+// metrics registry so mid-run scrapes see bytes move.
+type DeliveryObserver func(tag string, bytes float64, crossDC bool)
+
+// SetDeliveryObserver installs the delivery observer (nil disables). It is
+// invoked from inside the simulation loop; observers must not call back
+// into the network.
+func (n *Network) SetDeliveryObserver(o DeliveryObserver) { n.observer = o }
 
 // reallocate recomputes max-min fair rates with progressive filling and
 // schedules the next flow completion. Callers must settle() first.

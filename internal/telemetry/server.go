@@ -1,0 +1,196 @@
+// Package telemetry is the live observability plane: an HTTP server that
+// exposes a running job's metrics registry in Prometheus text exposition
+// format, a point-in-time canonical run-report snapshot, a streaming
+// NDJSON tail of the task-lifecycle event log, and the Go runtime's pprof
+// profiles — the monitoring counterpart to internal/obs's post-mortem
+// report. Both backends serve through it: the simulator scrapes its
+// engine's collector while the event loop runs, and the live cluster's
+// heartbeat-fed Stats snapshot mid-run.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"wanshuffle/internal/obs"
+)
+
+// Config wires the server's endpoints to a run's observability state.
+// Fields are functions so callers can swap the backing run (the live
+// cluster creates a fresh Stats per job); a function returning nil makes
+// its endpoint respond 503 until state exists.
+type Config struct {
+	// Registry backs GET /metrics.
+	Registry func() *obs.Registry
+	// Report backs GET /report: a point-in-time run-report snapshot
+	// while the job runs, and the exact final report once it finished.
+	Report func() *obs.Report
+	// Events backs GET /events, the NDJSON task-lifecycle stream.
+	Events func() *obs.Collector
+	// Logger receives request logs at debug level; nil discards.
+	Logger *slog.Logger
+}
+
+// Handler builds the telemetry plane's HTTP handler: /metrics, /report,
+// /events, /debug/pprof/, and a plain-text index at /.
+func Handler(cfg Config) http.Handler {
+	log := obs.LoggerOr(cfg.Logger)
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "wanshuffle telemetry\n\n"+
+			"GET /metrics      Prometheus text exposition of the run's registry\n"+
+			"GET /report       point-in-time wanshuffle/run-report/v1 snapshot (JSON)\n"+
+			"GET /events       task-lifecycle event stream (NDJSON, streams until closed)\n"+
+			"GET /debug/pprof/ Go runtime profiles\n")
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var reg *obs.Registry
+		if cfg.Registry != nil {
+			reg = cfg.Registry()
+		}
+		if reg == nil {
+			http.Error(w, "no metrics registry yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", obs.PromContentType)
+		if err := reg.WriteProm(w); err != nil {
+			log.Debug("telemetry: /metrics write failed", "err", err)
+		}
+	})
+
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		var rep *obs.Report
+		if cfg.Report != nil {
+			rep = cfg.Report()
+		}
+		if rep == nil {
+			http.Error(w, "no run report yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := rep.WriteJSON(w); err != nil {
+			log.Debug("telemetry: /report write failed", "err", err)
+		}
+	})
+
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		var c *obs.Collector
+		if cfg.Events != nil {
+			c = cfg.Events()
+		}
+		if c == nil {
+			http.Error(w, "no event collector yet", http.StatusServiceUnavailable)
+			return
+		}
+		serveEvents(w, r, c, log)
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		log.Debug("telemetry: request", "method", r.Method, "path", r.URL.Path, "remote", r.RemoteAddr)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// serveEvents streams the collector's event log as NDJSON: full history
+// first, then live events until the client disconnects.
+func serveEvents(w http.ResponseWriter, r *http.Request, c *obs.Collector, log *slog.Logger) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	history, ch, cancel := c.Subscribe(1024)
+	defer cancel()
+	for _, ev := range history {
+		if err := enc.Encode(ev); err != nil {
+			return
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			// Drain whatever else is queued before flushing, so bursts
+			// don't flush per event.
+			for drained := false; !drained; {
+				select {
+				case ev, ok := <-ch:
+					if !ok {
+						return
+					}
+					if err := enc.Encode(ev); err != nil {
+						return
+					}
+				default:
+					drained = true
+				}
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+// Server is a running telemetry endpoint. Close it when the process is
+// done serving (after any linger the caller wants).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (host:port; :0 picks a free port) and serves the
+// telemetry plane in a background goroutine.
+func Start(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(cfg), ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{ln: ln, srv: srv}
+	go func() {
+		_ = srv.Serve(ln)
+	}()
+	obs.LoggerOr(cfg.Logger).Info("telemetry: serving", "addr", s.Addr())
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the listener and severs open connections (including /events
+// streams).
+func (s *Server) Close() error {
+	return s.srv.Close()
+}
