@@ -40,6 +40,18 @@
 //	                   default, negative disables)
 //	-stale-after       -live heartbeat staleness threshold (0 = 1s)
 //
+// Wire protocol (-live data plane):
+//
+//	-compress          per-chunk compression codec for pushes and fetches:
+//	                   none | gzip | flate (default none). Compressed runs
+//	                   report bytes_raw_total >= bytes_wire_total.
+//	-chunk-records     records per chunk frame (0 = 256 default)
+//	-dial-timeout      TCP dial timeout for data-plane connections
+//	                   (0 = 5s default, negative disables)
+//	-io-timeout        per-exchange I/O deadline; a hung peer fails the
+//	                   task attempt instead of wedging the run (0 = 30s
+//	                   default, negative disables)
+//
 // -gantt, -chrome, -matrix, and -report all work in both modes: a
 // simulated run renders virtual time and per-region traffic, while a -live
 // run renders wall-clock spans measured on the workers and per-worker TCP
@@ -93,6 +105,10 @@ func run(args []string, stdout io.Writer) error {
 	logLevel := fs.String("log-level", "warn", "structured log level: debug | info | warn | error | off")
 	heartbeat := fs.Duration("heartbeat", 0, "-live worker heartbeat interval (0 = 50ms default, negative disables)")
 	staleAfter := fs.Duration("stale-after", 0, "-live heartbeat staleness threshold (0 = 1s)")
+	compress := fs.String("compress", "", "-live per-chunk compression codec: none | gzip | flate")
+	chunkRecords := fs.Int("chunk-records", 0, "-live records per chunk frame (0 = 256 default)")
+	dialTimeout := fs.Duration("dial-timeout", 0, "-live data-plane dial timeout (0 = 5s default, negative disables)")
+	ioTimeout := fs.Duration("io-timeout", 0, "-live per-exchange I/O deadline (0 = 30s default, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -132,6 +148,8 @@ func run(args []string, stdout io.Writer) error {
 			gantt: *gantt, chrome: *chrome, matrix: *matrix,
 			report: *report, validate: *validate,
 			heartbeat: *heartbeat, staleAfter: *staleAfter,
+			compress: *compress, chunkRecords: *chunkRecords,
+			dialTimeout: *dialTimeout, ioTimeout: *ioTimeout,
 			obs: obsOpts,
 		}, stdout)
 	}
@@ -308,14 +326,18 @@ func writeReport(path string, rep *obs.Report) error {
 
 // liveOptions carries the observability flags into a live run.
 type liveOptions struct {
-	gantt      bool
-	chrome     string
-	matrix     bool
-	report     string
-	validate   bool
-	heartbeat  time.Duration
-	staleAfter time.Duration
-	obs        obsOptions
+	gantt        bool
+	chrome       string
+	matrix       bool
+	report       string
+	validate     bool
+	heartbeat    time.Duration
+	staleAfter   time.Duration
+	compress     string
+	chunkRecords int
+	dialTimeout  time.Duration
+	ioTimeout    time.Duration
+	obs          obsOptions
 }
 
 // runLive executes the workload on a real loopback TCP cluster. Only the
@@ -340,6 +362,8 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOp
 	cluster, err := livecluster.New(livecluster.Config{
 		Workers: 6, Mode: mode, Trace: tracer,
 		HeartbeatInterval: opts.heartbeat, StaleAfter: opts.staleAfter,
+		Compression: opts.compress, ChunkRecords: opts.chunkRecords,
+		DialTimeout: opts.dialTimeout, IOTimeout: opts.ioTimeout,
 		Logger: opts.obs.logger,
 	})
 	if err != nil {
@@ -414,6 +438,10 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOp
 	fmt.Fprintf(stdout, "  completion time:  %.3f s\n", stats.CompletionSec)
 	fmt.Fprintf(stdout, "  output records:   %d\n", len(out))
 	fmt.Fprintf(stdout, "  bytes over TCP:   %d\n", stats.BytesOverTCP)
+	if stats.BytesRaw > stats.BytesOverTCP {
+		fmt.Fprintf(stdout, "  bytes raw:        %d (compression ratio %.2fx)\n",
+			stats.BytesRaw, float64(stats.BytesRaw)/float64(stats.BytesOverTCP))
+	}
 	fmt.Fprintf(stdout, "  pushes/fetches:   %d/%d (%d samples, %d dials, %d retries)\n",
 		stats.PushConnections, stats.FetchConnections, stats.SampleRequests, stats.Dials, stats.Retries)
 	fmt.Fprintln(stdout, "  stages:")

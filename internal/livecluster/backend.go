@@ -92,7 +92,7 @@ func (r *liveRun) InputSizes(st *dag.Stage) []float64 {
 // worker, prepare it map-side, then push it to the aggregator over TCP the
 // moment the task finishes (aggTo >= 0, the paper's transferTo) or store
 // it locally for later fetches.
-func (r *liveRun) RunMapTask(st *dag.Stage, part, site, aggTo int) error {
+func (r *liveRun) RunMapTask(st *dag.Stage, part, site, aggTo, attempt int) error {
 	w := r.c.workers[site]
 	if w.closed.Load() {
 		return fmt.Errorf("livecluster: worker %d is down", site)
@@ -117,13 +117,13 @@ func (r *liveRun) RunMapTask(st *dag.Stage, part, site, aggTo int) error {
 	holder := site
 	if aggTo >= 0 {
 		tPush := r.since()
-		if err := w.push(r.c.workers[aggTo].addr, st.OutSpec.ID, part, prepared, r.stats); err != nil {
+		if err := w.push(r.c.workers[aggTo].addr, st.OutSpec.ID, part, attempt, prepared, r.stats); err != nil {
 			return err
 		}
 		r.span(trace.KindPush, site, st.ID, part, tPush)
 		holder = aggTo
 	} else {
-		w.storeMapOutput(st.OutSpec.ID, part, prepared)
+		w.storeMapOutput(st.OutSpec.ID, part, attempt, prepared)
 	}
 	r.mu.Lock()
 	hs := r.holders[st.OutSpec.ID]

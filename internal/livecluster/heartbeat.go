@@ -28,8 +28,10 @@ import (
 // buffer worker-side accounting for the next heartbeat.
 type flowSink interface {
 	// flow accounts one exchange's payload bytes from site src to dst
-	// under a traffic class.
-	flow(src, dst int, class string, n int64)
+	// under a traffic class: wire is what actually crossed the socket,
+	// raw is wire plus whatever chunk compression saved (raw == wire
+	// when compression is off or saved nothing).
+	flow(src, dst int, class string, wire, raw int64)
 	// dial accounts one fresh TCP connection.
 	dial()
 	// op accounts one successful request by purpose.
@@ -42,11 +44,17 @@ type flowKey struct {
 	class    string
 }
 
+// flowAgg accumulates one cell's wire and raw bytes between beats.
+type flowAgg struct {
+	wire, raw int64
+}
+
 // flowDelta is one accumulated matrix cell on the wire.
 type flowDelta struct {
 	Src, Dst int
 	Class    string
-	Bytes    int64
+	Bytes    int64 // wire bytes
+	Raw      int64 // uncompressed-equivalent bytes
 }
 
 // heartbeat is one worker's telemetry delta since its previous beat.
@@ -65,20 +73,24 @@ type hbAck struct{ OK bool }
 // workerTel buffers one worker's telemetry between heartbeats.
 type workerTel struct {
 	mu    sync.Mutex
-	flows map[flowKey]int64
+	flows map[flowKey]flowAgg
 	ops   map[requestKind]int64
 	dials int64
 	spans []trace.Span
 }
 
 func newWorkerTel() *workerTel {
-	return &workerTel{flows: map[flowKey]int64{}, ops: map[requestKind]int64{}}
+	return &workerTel{flows: map[flowKey]flowAgg{}, ops: map[requestKind]int64{}}
 }
 
 // flow implements flowSink.
-func (t *workerTel) flow(src, dst int, class string, n int64) {
+func (t *workerTel) flow(src, dst int, class string, wire, raw int64) {
 	t.mu.Lock()
-	t.flows[flowKey{src, dst, class}] += n
+	k := flowKey{src, dst, class}
+	agg := t.flows[k]
+	agg.wire += wire
+	agg.raw += raw
+	t.flows[k] = agg
 	t.mu.Unlock()
 }
 
@@ -108,16 +120,16 @@ func (t *workerTel) drain() heartbeat {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	hb := heartbeat{
-		Pushes:  t.ops[reqPush],
-		Fetches: t.ops[reqFetch],
+		Pushes:  t.ops[reqPushChunk],
+		Fetches: t.ops[reqFetchStream],
 		Samples: t.ops[reqSample],
 		Dials:   t.dials,
 		Spans:   t.spans,
 	}
-	for k, n := range t.flows {
-		hb.Flows = append(hb.Flows, flowDelta{Src: k.src, Dst: k.dst, Class: k.class, Bytes: n})
+	for k, agg := range t.flows {
+		hb.Flows = append(hb.Flows, flowDelta{Src: k.src, Dst: k.dst, Class: k.class, Bytes: agg.wire, Raw: agg.raw})
 	}
-	t.flows = map[flowKey]int64{}
+	t.flows = map[flowKey]flowAgg{}
 	t.ops = map[requestKind]int64{}
 	t.dials = 0
 	t.spans = nil
@@ -130,10 +142,14 @@ func (t *workerTel) restore(hb heartbeat) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, f := range hb.Flows {
-		t.flows[flowKey{f.Src, f.Dst, f.Class}] += f.Bytes
+		k := flowKey{f.Src, f.Dst, f.Class}
+		agg := t.flows[k]
+		agg.wire += f.Bytes
+		agg.raw += f.Raw
+		t.flows[k] = agg
 	}
-	t.ops[reqPush] += hb.Pushes
-	t.ops[reqFetch] += hb.Fetches
+	t.ops[reqPushChunk] += hb.Pushes
+	t.ops[reqFetchStream] += hb.Fetches
 	t.ops[reqSample] += hb.Samples
 	t.dials += hb.Dials
 	t.spans = append(hb.Spans, t.spans...)

@@ -101,6 +101,25 @@ type Config struct {
 	// Logger receives structured cluster logs (worker lifecycle,
 	// heartbeat merges, kills) with worker attributes. Nil discards.
 	Logger *slog.Logger
+	// ChunkRecords bounds how many records one data-plane chunk frame
+	// carries; pushes and fetches stream their partitions as sequences of
+	// such chunks. Defaults to 256.
+	ChunkRecords int
+	// PushFanout bounds the parallel chunk streams one push uses (each on
+	// its own pooled connection). Defaults to 2; 1 means serial.
+	PushFanout int
+	// Compression selects the per-chunk codec: "" or "none" (default,
+	// off), "gzip", or "flate". Chunks that would not shrink ship raw, so
+	// wire bytes never exceed raw bytes.
+	Compression string
+	// DialTimeout bounds establishing a data-plane connection. Zero means
+	// the 5s default; negative disables the bound.
+	DialTimeout time.Duration
+	// IOTimeout is the deadline one whole request exchange (its chunk
+	// stream included) must complete within; a hung peer surfaces as a
+	// retryable task error instead of wedging the run. Zero means the 30s
+	// default; negative disables the bound.
+	IOTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +139,22 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StaleAfter <= 0 {
 		c.StaleAfter = time.Second
+	}
+	if c.ChunkRecords <= 0 {
+		c.ChunkRecords = 256
+	}
+	if c.PushFanout <= 0 {
+		c.PushFanout = 2
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	} else if c.DialTimeout < 0 {
+		c.DialTimeout = 0 // disabled
+	}
+	if c.IOTimeout == 0 {
+		c.IOTimeout = 30 * time.Second
+	} else if c.IOTimeout < 0 {
+		c.IOTimeout = 0 // disabled
 	}
 	return c
 }
@@ -159,8 +194,13 @@ type Cluster struct {
 
 // Stats reports the data-plane activity of one job.
 type Stats struct {
-	// BytesOverTCP is the total payload moved across sockets.
+	// BytesOverTCP is the total payload moved across sockets (wire
+	// bytes, after any chunk compression).
 	BytesOverTCP int64
+	// BytesRaw is the uncompressed-equivalent payload: BytesOverTCP plus
+	// whatever per-chunk compression saved. Equal to BytesOverTCP when
+	// compression is off; never smaller.
+	BytesRaw int64
 	// PushConnections, FetchConnections and SampleRequests count
 	// data-plane requests by purpose. Requests reuse pooled connections;
 	// Dials counts how many fresh TCP connections they actually opened.
@@ -202,21 +242,27 @@ type Stats struct {
 	mu sync.Mutex
 }
 
-// flow implements flowSink: account one exchange's payload bytes into the
+// flow implements flowSink: account one exchange's wire bytes into the
 // byte total, the (src,dst) traffic matrix cell, the class split, and the
 // bytes_moved_total{class} counter — all under one lock, so the matrix
 // total equals BytesOverTCP at every instant a scraper could observe.
-func (s *Stats) flow(src, dst int, class string, n int64) {
+// raw (wire plus compression savings) feeds the parallel BytesRaw /
+// bytes_raw_total accounting.
+func (s *Stats) flow(src, dst int, class string, wire, raw int64) {
 	s.mu.Lock()
-	s.BytesOverTCP += n
+	s.BytesOverTCP += wire
+	s.BytesRaw += raw
 	if src >= 0 && src < len(s.TrafficMatrix) && dst >= 0 && dst < len(s.TrafficMatrix) {
-		s.TrafficMatrix[src][dst] += n
+		s.TrafficMatrix[src][dst] += wire
 	}
 	if s.BytesByClass != nil {
-		s.BytesByClass[class] += n
+		s.BytesByClass[class] += wire
 	}
 	s.mu.Unlock()
-	s.Events.Registry().Counter("bytes_moved_total", obs.Labels{"class": class}).Add(n)
+	reg := s.Events.Registry()
+	reg.Counter("bytes_moved_total", obs.Labels{"class": class}).Add(wire)
+	reg.Counter("bytes_wire_total", nil).Add(wire)
+	reg.Counter("bytes_raw_total", nil).Add(raw)
 }
 
 // dial implements flowSink.
@@ -225,9 +271,9 @@ func (s *Stats) dial() { atomic.AddInt64(&s.Dials, 1) }
 // op implements flowSink.
 func (s *Stats) op(kind requestKind) {
 	switch kind {
-	case reqPush:
+	case reqPushChunk:
 		atomic.AddInt64(&s.PushConnections, 1)
-	case reqFetch:
+	case reqFetchStream:
 		atomic.AddInt64(&s.FetchConnections, 1)
 	case reqSample:
 		atomic.AddInt64(&s.SampleRequests, 1)
@@ -238,7 +284,7 @@ func (s *Stats) op(kind requestKind) {
 // spans to the job's trace recorder.
 func (s *Stats) merge(hb heartbeat, tr *trace.SyncRecorder) {
 	for _, f := range hb.Flows {
-		s.flow(f.Src, f.Dst, f.Class, f.Bytes)
+		s.flow(f.Src, f.Dst, f.Class, f.Bytes, f.Raw)
 	}
 	atomic.AddInt64(&s.PushConnections, hb.Pushes)
 	atomic.AddInt64(&s.FetchConnections, hb.Fetches)
@@ -307,6 +353,7 @@ func (s *Stats) RunReport(workload string, tr *trace.SyncRecorder) *obs.Report {
 	completion := s.CompletionSec
 	retries := s.Retries
 	bytesTotal := float64(s.BytesOverTCP)
+	bytesRaw := float64(s.BytesRaw)
 	s.mu.Unlock()
 	return &obs.Report{
 		Schema:         obs.SchemaVersion,
@@ -324,6 +371,7 @@ func (s *Stats) RunReport(workload string, tr *trace.SyncRecorder) *obs.Report {
 		Retries:        retries,
 		Dials:          atomic.LoadInt64(&s.Dials),
 		BytesTotal:     bytesTotal,
+		BytesRaw:       bytesRaw,
 		Metrics:        s.Events.Registry().Snapshot(),
 	}
 }
@@ -338,6 +386,11 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("livecluster: aggregator %d out of range [0,%d)", a, cfg.Workers)
 		}
 	}
+	codec, ok := validCodec(cfg.Compression)
+	if !ok {
+		return nil, fmt.Errorf("livecluster: unknown compression codec %q (want none, gzip, or flate)", cfg.Compression)
+	}
+	cfg.Compression = codec
 	c := &Cluster{
 		cfg:       cfg,
 		addrIndex: make(map[string]int, cfg.Workers),
@@ -345,6 +398,8 @@ func New(cfg Config) (*Cluster, error) {
 		hbConns:   make(map[net.Conn]bool),
 		lastBeat:  make([]atomic.Int64, cfg.Workers),
 	}
+	c.pool.dialTimeout = cfg.DialTimeout
+	c.pool.ioTimeout = cfg.IOTimeout
 	if c.hbEnabled() {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {

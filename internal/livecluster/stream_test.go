@@ -1,0 +1,398 @@
+package livecluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"wanshuffle/internal/obs"
+	"wanshuffle/internal/rdd"
+	"wanshuffle/internal/topology"
+)
+
+// pairs builds n distinct records with moderately compressible values.
+func pairs(n int) []rdd.Pair {
+	out := make([]rdd.Pair, n)
+	for i := range out {
+		out[i] = rdd.KV(fmt.Sprintf("key-%04d", i), fmt.Sprintf("value-%d-abcabcabcabc", i%5))
+	}
+	return out
+}
+
+func TestChunkRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		codec string
+		n     int
+	}{
+		{"none-empty", CodecNone, 0},
+		{"none-some", CodecNone, 10},
+		{"gzip-empty", CodecGzip, 0},
+		{"gzip-one", CodecGzip, 1},
+		{"gzip-many", CodecGzip, 500},
+		{"flate-many", CodecFlate, 500},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			in := pairs(tc.n)
+			ch, err := makeChunk(3, in, tc.codec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ch.Seq != 3 {
+				t.Fatalf("seq = %d", ch.Seq)
+			}
+			out, err := ch.decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if canon(out) != canon(in) {
+				t.Fatal("chunk round-trip diverges")
+			}
+			if ch.savings() < 0 {
+				t.Fatalf("negative savings %d", ch.savings())
+			}
+			if tc.codec != CodecNone && tc.n >= 500 && ch.savings() == 0 {
+				t.Fatal("large repetitive chunk did not compress")
+			}
+			if tc.codec != CodecNone && tc.n <= 1 && ch.Codec != CodecNone {
+				t.Fatal("tiny chunk shipped compressed despite inflating")
+			}
+		})
+	}
+}
+
+func TestSplitRecords(t *testing.T) {
+	for _, tc := range []struct {
+		n, size, chunks int
+	}{
+		{0, 4, 0}, {1, 4, 1}, {4, 4, 1}, {8, 4, 2}, {9, 4, 3}, {17, 4, 5}, {3, 0, 3},
+	} {
+		got := splitRecords(pairs(tc.n), tc.size)
+		if len(got) != tc.chunks {
+			t.Fatalf("split(%d, %d) = %d chunks, want %d", tc.n, tc.size, len(got), tc.chunks)
+		}
+		total := 0
+		for _, c := range got {
+			total += len(c)
+		}
+		if total != tc.n {
+			t.Fatalf("split(%d, %d) lost records: %d", tc.n, tc.size, total)
+		}
+	}
+}
+
+func TestValidCodec(t *testing.T) {
+	for name, want := range map[string]string{"": "", "none": "", "gzip": "gzip", "flate": "flate"} {
+		got, ok := validCodec(name)
+		if !ok || got != want {
+			t.Fatalf("validCodec(%q) = %q, %v", name, got, ok)
+		}
+	}
+	if _, ok := validCodec("snappy"); ok {
+		t.Fatal("unknown codec accepted")
+	}
+	if _, err := New(Config{Workers: 2, Compression: "zstd"}); err == nil {
+		t.Fatal("cluster accepted unknown codec")
+	}
+}
+
+// streamCluster builds a heartbeat-less cluster whose workers account
+// directly into the stats the test hands them, plus a registered
+// hash-partitioned shuffle spec.
+func streamCluster(t *testing.T, cfg Config, reduces int) (*Cluster, *Stats) {
+	t.Helper()
+	cfg.HeartbeatInterval = -1 // direct accounting, no heartbeat buffering
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	c.specs.Store(7, &rdd.ShuffleSpec{ID: 7, Partitioner: rdd.NewHashPartitioner(reduces)})
+	n := cfg.Workers + 1
+	matrix := make([][]int64, n)
+	for i := range matrix {
+		matrix[i] = make([]int64, n)
+	}
+	return c, &Stats{Events: obs.NewCollector(), TrafficMatrix: matrix, BytesByClass: map[string]int64{}}
+}
+
+// TestChunkedPushFetchRoundTrip drives the full wire path — chunked push
+// to a receiver, chunked fetch of every reduce shard back — across chunk
+// boundaries and codecs, and checks byte conservation each time.
+func TestChunkedPushFetchRoundTrip(t *testing.T) {
+	const reduces = 3
+	for _, tc := range []struct {
+		name     string
+		records  int
+		chunkRec int
+		codec    string
+	}{
+		{"empty-partition", 0, 4, CodecNone},
+		{"one-record", 1, 4, CodecNone},
+		{"exact-chunk-boundary", 8, 4, CodecNone},
+		{"many-chunks", 17, 4, CodecNone},
+		{"many-chunks-gzip", 17, 4, CodecGzip},
+		{"large-gzip", 400, 32, CodecGzip},
+		{"large-flate", 400, 32, CodecFlate},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c, stats := streamCluster(t, Config{
+				Workers: 2, ChunkRecords: tc.chunkRec, Compression: tc.codec, PushFanout: 2,
+			}, reduces)
+			in := pairs(tc.records)
+			w0, w1 := c.workers[0], c.workers[1]
+			if err := w0.push(w1.addr, 7, 0, 1, in, stats); err != nil {
+				t.Fatal(err)
+			}
+			var out []rdd.Pair
+			for r := 0; r < reduces; r++ {
+				shard, err := w0.fetch(w1.addr, 7, 0, r, stats)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out = append(out, shard...)
+			}
+			if canon(out) != canon(in) {
+				t.Fatal("push/fetch round-trip diverges")
+			}
+			if stats.PushConnections != 1 || stats.FetchConnections != int64(reduces) {
+				t.Fatalf("ops = %d pushes / %d fetches", stats.PushConnections, stats.FetchConnections)
+			}
+			if got := matrixTotal(stats.TrafficMatrix); got != stats.BytesOverTCP {
+				t.Fatalf("matrix total %d != BytesOverTCP %d", got, stats.BytesOverTCP)
+			}
+			if stats.BytesRaw < stats.BytesOverTCP {
+				t.Fatalf("BytesRaw %d < BytesOverTCP %d", stats.BytesRaw, stats.BytesOverTCP)
+			}
+			if tc.codec != CodecNone && tc.records >= 400 && stats.BytesRaw <= stats.BytesOverTCP {
+				t.Fatal("compressed transfer saved nothing")
+			}
+			if tc.codec == CodecNone && stats.BytesRaw != stats.BytesOverTCP {
+				t.Fatalf("uncompressed: BytesRaw %d != wire %d", stats.BytesRaw, stats.BytesOverTCP)
+			}
+		})
+	}
+}
+
+// TestIncrementalBucketingAvoidsRebuilds asserts the core fix: hash-ready
+// pushes are bucketed as chunks arrive, so fetches are pure lookups — no
+// per-fetch (or even one-time) whole-output bucketing pass.
+func TestIncrementalBucketingAvoidsRebuilds(t *testing.T) {
+	const reduces = 4
+	c, stats := streamCluster(t, Config{Workers: 2, ChunkRecords: 8}, reduces)
+	w0, w1 := c.workers[0], c.workers[1]
+	if err := w0.push(w1.addr, 7, 0, 1, pairs(100), stats); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < reduces; r++ {
+		for i := 0; i < 3; i++ { // repeated fetches of the same shard
+			if _, err := w0.fetch(w1.addr, 7, 0, r, stats); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if n := w1.bucketBuilds.Load(); n != 0 {
+		t.Fatalf("receiver ran %d deferred bucket builds; incremental bucketing should need none", n)
+	}
+}
+
+// TestDeferredBucketingBucketsExactlyOnce covers the range-partitioned
+// path: the partitioner is not ready at push time, so the output stays
+// flat and is bucketed exactly once on the first fetch — never once per
+// fetch, the bug this PR removes.
+func TestDeferredBucketingBucketsExactlyOnce(t *testing.T) {
+	const reduces = 3
+	c, stats := streamCluster(t, Config{Workers: 2, ChunkRecords: 8}, reduces)
+	rp := rdd.NewRangePartitioner(reduces)
+	c.specs.Store(9, &rdd.ShuffleSpec{ID: 9, Partitioner: rp, SampleForRange: true})
+	w0, w1 := c.workers[0], c.workers[1]
+	in := pairs(60)
+	if err := w0.push(w1.addr, 9, 0, 1, in, stats); err != nil {
+		t.Fatal(err)
+	}
+	// Not ready yet: fetching must fail rather than bucket garbage.
+	if _, err := w0.fetch(w1.addr, 9, 0, 0, stats); err == nil {
+		t.Fatal("fetch succeeded before the range partitioner was prepared")
+	}
+	keys, err := c.sampleKeys(w1.addr, 9, 0, 1000, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.Prepare(keys)
+	var out []rdd.Pair
+	for r := 0; r < reduces; r++ {
+		for i := 0; i < 3; i++ {
+			shard, err := w0.fetch(w1.addr, 9, 0, r, stats)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				out = append(out, shard...)
+			}
+		}
+	}
+	if canon(out) != canon(in) {
+		t.Fatal("range-partitioned round-trip diverges")
+	}
+	if n := w1.bucketBuilds.Load(); n != 1 {
+		t.Fatalf("flat output bucketed %d times, want exactly once", n)
+	}
+}
+
+// TestDuplicatePushesIdempotent pushes several attempts of the same
+// (shuffle, map) partition and checks last-write-wins by attempt: a stale
+// retried attempt never clobbers a newer one.
+func TestDuplicatePushesIdempotent(t *testing.T) {
+	c, stats := streamCluster(t, Config{Workers: 2, ChunkRecords: 4}, 1)
+	w0, w1 := c.workers[0], c.workers[1]
+	byAttempt := func(att int) []rdd.Pair {
+		return []rdd.Pair{rdd.KV("winner", fmt.Sprintf("attempt-%d", att))}
+	}
+	fetchOne := func() string {
+		t.Helper()
+		out, err := w0.fetch(w1.addr, 7, 0, 0, stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 1 {
+			t.Fatalf("fetched %d records, want 1", len(out))
+		}
+		return out[0].Value.(string)
+	}
+	for _, att := range []int{2, 1} { // attempt 1 arrives after attempt 2
+		if err := w0.push(w1.addr, 7, 0, att, byAttempt(att), stats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fetchOne(); got != "attempt-2" {
+		t.Fatalf("stale attempt overwrote newer output: %q", got)
+	}
+	if err := w0.push(w1.addr, 7, 0, 3, byAttempt(3), stats); err != nil {
+		t.Fatal(err)
+	}
+	if got := fetchOne(); got != "attempt-3" {
+		t.Fatalf("newer attempt did not take over: %q", got)
+	}
+	if n := w1.storedOutputs(); n != 1 {
+		t.Fatalf("duplicates stored as %d outputs, want 1", n)
+	}
+}
+
+// TestStalePooledConnectionRetriedOnce kills every server-side connection
+// while the client's side sits idle in its pool, then runs another
+// exchange: the stale connection must be detected and the exchange retried
+// transparently on a fresh dial instead of failing the task.
+func TestStalePooledConnectionRetriedOnce(t *testing.T) {
+	c, stats := streamCluster(t, Config{Workers: 2, ChunkRecords: 4}, 1)
+	w0, w1 := c.workers[0], c.workers[1]
+	if err := w0.push(w1.addr, 7, 0, 1, pairs(6), stats); err != nil {
+		t.Fatal(err)
+	}
+	dialsBefore := stats.Dials
+	// Simulate the peer dropping idle connections (restart, LB timeout):
+	// close every server-side conn under the worker's own lock.
+	w1.mu.Lock()
+	for conn := range w1.conns {
+		_ = conn.Close()
+	}
+	w1.mu.Unlock()
+	out, err := w0.fetch(w1.addr, 7, 0, 0, stats)
+	if err != nil {
+		t.Fatalf("exchange on stale pooled connection not recovered: %v", err)
+	}
+	if len(out) != 6 {
+		t.Fatalf("recovered fetch returned %d records, want 6", len(out))
+	}
+	if stats.Dials <= dialsBefore {
+		t.Fatal("transparent retry did not dial a fresh connection")
+	}
+}
+
+// TestHungPeerDeadlineFiresAndRetries stalls the aggregator worker's
+// request handling mid-job: the push must fail within the configured I/O
+// deadline (not hang the run), charge the retry budget, and — once the
+// peer recovers — the retried attempt must complete the job correctly.
+func TestHungPeerDeadlineFiresAndRetries(t *testing.T) {
+	want := canon(rdd.CollectLocal(buildWordCount(4, 2)))
+	cluster, err := New(Config{
+		Workers: 3, Mode: ModePush, Aggregators: []int{2},
+		MaxAttempts: 6, IOTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.workers[2].stallRequests()
+
+	type result struct {
+		out []rdd.Pair
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		out, _, err := cluster.Run(buildWordCount(4, 2))
+		done <- result{out, err}
+	}()
+
+	// The deadline must fire and charge the retry budget while the peer
+	// is still wedged.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if s := cluster.CurrentStats(); s != nil && s.Events.CountPhase(obs.PhaseRetried) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no task retry observed; hung peer is blocking the run")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cluster.workers[2].resumeRequests()
+
+	select {
+	case res := <-done:
+		if res.err != nil {
+			t.Fatalf("job failed after peer recovered: %v", res.err)
+		}
+		if canon(res.out) != want {
+			t.Fatal("post-recovery output diverges from reference")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("job still hung after peer recovered")
+	}
+	if s := cluster.CurrentStats(); s == nil || s.Retries < 1 {
+		t.Fatal("retry budget not charged for the timed-out attempt")
+	}
+}
+
+// TestCompressedModeMatchesReference runs seeded random lineages through
+// the streamed data plane with compression on, in both shuffle modes, and
+// requires outputs identical to the in-memory reference plus an exact
+// byte-conservation invariant with BytesRaw >= wire bytes.
+func TestCompressedModeMatchesReference(t *testing.T) {
+	topo := topology.SixRegionEC2()
+	for _, seed := range []int64{1, 7, 23} {
+		want := canon(rdd.CollectLocal(rdd.RandomLineage(seed, rdd.NewGraph(), topo.Workers())))
+		for _, mode := range []Mode{ModeFetch, ModePush} {
+			cluster, err := New(Config{
+				Workers: 4, Mode: mode, Compression: CodecGzip, ChunkRecords: 16,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, stats, err := cluster.Run(rdd.RandomLineage(seed, rdd.NewGraph(), topo.Workers()))
+			cluster.Close()
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, mode, err)
+			}
+			if canon(out) != want {
+				t.Fatalf("seed %d %v compressed run diverges from reference", seed, mode)
+			}
+			if got := matrixTotal(stats.TrafficMatrix); got != stats.BytesOverTCP {
+				t.Fatalf("seed %d %v: matrix total %d != BytesOverTCP %d", seed, mode, got, stats.BytesOverTCP)
+			}
+			if stats.BytesRaw < stats.BytesOverTCP {
+				t.Fatalf("seed %d %v: BytesRaw %d < wire %d", seed, mode, stats.BytesRaw, stats.BytesOverTCP)
+			}
+		}
+	}
+}

@@ -7,22 +7,34 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"wanshuffle/internal/obs"
 	"wanshuffle/internal/rdd"
 	"wanshuffle/internal/topology"
 	"wanshuffle/internal/trace"
 )
 
-// Wire protocol: gob-framed request/response pairs multiplexed over
-// persistent connections. A client checks a connection out of its pool,
-// runs one exchange, and returns it; the server loops decoding requests on
-// each accepted connection until the peer closes it.
+// Wire protocol: gob-framed streams multiplexed over persistent pooled
+// connections. A client checks a connection out of its pool, runs one
+// exchange under the configured I/O deadline, and returns it; the server
+// loops decoding requests on each accepted connection until the peer
+// closes it. Three exchange shapes exist:
+//
+//   - reqPushChunk: the request header is followed by data chunk frames
+//     and a terminal frame; the receiver buckets chunks into per-reduce
+//     shards as they arrive, installs the assembled output once every
+//     chunk (across the push's parallel streams) is present, and answers
+//     with one response frame per stream.
+//   - reqFetchStream: the holder streams one reduce shard back as chunk
+//     frames ending in a terminal frame (which carries any error).
+//   - reqSample: a plain request/response pair.
 
 type requestKind int
 
 const (
-	reqPush requestKind = iota + 1
-	reqFetch
+	reqPushChunk requestKind = iota + 1
+	reqFetchStream
 	reqSample
 )
 
@@ -35,19 +47,53 @@ type request struct {
 	MapPart   int
 	Reduce    int
 	Max       int
-	Records   []rdd.Pair
+	// Attempt is the map-task attempt a push stream ships. Receivers keep
+	// the highest attempt per (shuffle, map) — duplicate pushes from
+	// retried tasks are idempotent, last-write-wins by attempt.
+	Attempt int
+	// Chunks is the total data-chunk count of the push across all of its
+	// parallel streams; the receiver installs the output once all arrived.
+	Chunks int
 }
 
 type response struct {
-	Err     string
-	Records []rdd.Pair
-	Keys    []string
+	Err  string
+	Keys []string
 }
 
 type outKey struct{ shuffle, mapPart int }
 
+// storedOutput is one map output at its holder, keyed by the attempt that
+// produced it. Push chunks are bucketed into per-reduce shards as they
+// arrive whenever the shuffle's partitioner is ready, so a fetch is an
+// O(1) shard lookup; outputs of sample-then-range shuffles stay flat until
+// the partitioner is prepared at the barrier and are bucketed exactly once
+// on first fetch.
+type storedOutput struct {
+	attempt int
+	records []rdd.Pair   // flat records; nil once bucketed
+	shards  [][]rdd.Pair // per-reduce shards; nil until bucketed
+}
+
+// pushKey identifies one in-flight push assembly.
+type pushKey struct{ shuffle, mapPart, attempt int }
+
+// pushAssembly accumulates one push's chunks across its parallel streams.
+// Chunks are bucketed the moment they arrive (when the partitioner is
+// ready) and merged in sequence order on completion, so parallel streams
+// cannot reorder records.
+type pushAssembly struct {
+	total    int                  // expected data chunks
+	got      int                  // distinct chunks received
+	flat     map[int][]rdd.Pair   // seq → records (partitioner not ready)
+	bucketed map[int][][]rdd.Pair // seq → per-reduce buckets
+	ready    bool                 // partitioner was ready at assembly start
+	nParts   int
+}
+
 // worker is one live cluster member: a loopback TCP server storing map
-// output, plus a pooled client side for pushes and fetches to peers.
+// output bucketed per reduce, plus a pooled client side for pushes and
+// fetches to peers.
 type worker struct {
 	id      int
 	addr    string
@@ -55,9 +101,19 @@ type worker struct {
 	cluster *Cluster
 	pool    poolSet
 
-	mu     sync.Mutex
-	mapOut map[outKey][]rdd.Pair
-	conns  map[net.Conn]bool // open server-side connections
+	mu      sync.Mutex
+	mapOut  map[outKey]*storedOutput
+	pending map[pushKey]*pushAssembly
+	conns   map[net.Conn]bool // open server-side connections
+
+	// bucketBuilds counts deferred whole-output bucketing passes; pushes
+	// bucketed incrementally on arrival never increment it.
+	bucketBuilds atomic.Int64
+
+	// stallCh, when non-nil, parks request handlers (tests simulate a
+	// hung peer with it).
+	stallMu sync.Mutex
+	stallCh chan struct{}
 
 	closed  atomic.Bool
 	serveWG sync.WaitGroup
@@ -85,9 +141,14 @@ func newWorker(id int, c *Cluster) (*worker, error) {
 		addr:    ln.Addr().String(),
 		ln:      ln,
 		cluster: c,
-		mapOut:  make(map[outKey][]rdd.Pair),
+		mapOut:  make(map[outKey]*storedOutput),
+		pending: make(map[pushKey]*pushAssembly),
 		conns:   make(map[net.Conn]bool),
 		tel:     newWorkerTel(),
+		pool: poolSet{
+			dialTimeout: c.cfg.DialTimeout,
+			ioTimeout:   c.cfg.IOTimeout,
+		},
 	}
 	w.serveWG.Add(1)
 	go w.serve()
@@ -101,6 +162,7 @@ func (w *worker) close() {
 		}
 		_ = w.ln.Close()
 		w.pool.closeAll()
+		w.resumeRequests() // unpark any test-stalled handlers
 		// Unblock handlers parked in Decode on persistent connections.
 		w.mu.Lock()
 		for conn := range w.conns {
@@ -141,8 +203,8 @@ func (w *worker) serve() {
 	}
 }
 
-// handleConn serves requests on one persistent connection until the peer
-// hangs up.
+// handleConn serves exchanges on one persistent connection until the peer
+// hangs up or a framing error breaks the stream.
 func (w *worker) handleConn(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
@@ -151,67 +213,282 @@ func (w *worker) handleConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		resp := w.handle(&req)
+		w.maybeStall()
+		var resp *response
+		switch req.Kind {
+		case reqPushChunk:
+			r, err := w.receivePush(dec, &req)
+			if err != nil {
+				return // broken stream: drop the connection
+			}
+			resp = r
+		case reqFetchStream:
+			if err := w.streamFetch(enc, &req); err != nil {
+				return
+			}
+			continue // the terminal chunk ends the exchange
+		case reqSample:
+			resp = w.handleSample(&req)
+		default:
+			resp = &response{Err: fmt.Sprintf("unknown request kind %d", req.Kind)}
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
 	}
 }
 
-func (w *worker) handle(req *request) *response {
-	resp := &response{}
-	switch req.Kind {
-	case reqPush:
-		// Receiver occupancy (the paper's V rows): the aggregator side of
-		// a push, recorded against the running job's clock. With
-		// heartbeats enabled the span is buffered worker-side and reaches
-		// the driver's recorder in the next beat.
-		if run := w.cluster.curRun.Load(); run != nil {
-			t0 := run.since()
-			w.storeMapOutput(req.ShuffleID, req.MapPart, req.Records)
-			sp := trace.Span{
-				Kind: trace.KindReceive, Host: topology.HostID(w.id),
-				Stage: run.stageOfShuffle(req.ShuffleID), Part: req.MapPart,
-				Start: t0, End: run.since(),
-			}
-			if w.cluster.hbEnabled() {
-				w.tel.addSpan(sp)
-			} else {
-				w.cluster.cfg.Trace.Add(sp)
-			}
-			break
-		}
-		w.storeMapOutput(req.ShuffleID, req.MapPart, req.Records)
-	case reqFetch:
-		records, err := w.shard(req.ShuffleID, req.MapPart, req.Reduce)
-		if err != nil {
-			resp.Err = err.Error()
-		} else {
-			resp.Records = records
-		}
-	case reqSample:
-		records, err := w.stored(req.ShuffleID, req.MapPart)
-		if err != nil {
-			resp.Err = err.Error()
-		} else {
-			resp.Keys = rdd.SampleKeys(records, req.Max)
-		}
-	default:
-		resp.Err = fmt.Sprintf("unknown request kind %d", req.Kind)
+// stallRequests parks every subsequent request handler until
+// resumeRequests is called — tests simulate a hung peer with it, proving
+// client-side deadlines fire instead of wedging the run.
+func (w *worker) stallRequests() {
+	w.stallMu.Lock()
+	defer w.stallMu.Unlock()
+	if w.stallCh == nil {
+		w.stallCh = make(chan struct{})
 	}
-	return resp
 }
 
-func (w *worker) storeMapOutput(shuffleID, mapPart int, records []rdd.Pair) {
+// resumeRequests releases handlers parked by stallRequests.
+func (w *worker) resumeRequests() {
+	w.stallMu.Lock()
+	defer w.stallMu.Unlock()
+	if w.stallCh != nil {
+		close(w.stallCh)
+		w.stallCh = nil
+	}
+}
+
+func (w *worker) maybeStall() {
+	w.stallMu.Lock()
+	ch := w.stallCh
+	w.stallMu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+}
+
+// spec resolves a shuffle ID through the cluster's control plane.
+func (w *worker) spec(shuffleID int) *rdd.ShuffleSpec {
+	if s, ok := w.cluster.specs.Load(shuffleID); ok {
+		return s.(*rdd.ShuffleSpec)
+	}
+	return nil
+}
+
+// receivePush consumes one push stream: chunk frames until the terminal
+// frame, bucketed into the (shuffle, map, attempt) assembly as they
+// arrive. A framing error is fatal for the connection; a payload error is
+// reported in the response after the stream is drained. Returns the
+// response for this stream.
+func (w *worker) receivePush(dec *gob.Decoder, req *request) (*response, error) {
+	run := w.cluster.curRun.Load()
+	var t0 float64
+	if run != nil {
+		t0 = run.since()
+	}
+	var chunkErr error
+	for {
+		var ch chunk
+		if err := dec.Decode(&ch); err != nil {
+			w.abortAssembly(req)
+			return nil, err
+		}
+		if ch.Last {
+			break
+		}
+		if chunkErr != nil {
+			continue // drain the rest of a stream that already failed
+		}
+		records, err := ch.decode()
+		if err != nil {
+			chunkErr = err
+			continue
+		}
+		if err := w.addPushChunk(req, ch.Seq, records); err != nil {
+			chunkErr = err
+		}
+	}
+	if chunkErr != nil {
+		w.abortAssembly(req)
+		return &response{Err: chunkErr.Error()}, nil
+	}
+	if err := w.finishPushStream(req); err != nil {
+		return &response{Err: err.Error()}, nil
+	}
+	// Receiver occupancy (the paper's V rows): the aggregator side of a
+	// push, recorded against the running job's clock. With heartbeats
+	// enabled the span is buffered worker-side and reaches the driver's
+	// recorder in the next beat.
+	if run != nil {
+		sp := trace.Span{
+			Kind: trace.KindReceive, Host: topology.HostID(w.id),
+			Stage: run.stageOfShuffle(req.ShuffleID), Part: req.MapPart,
+			Start: t0, End: run.since(),
+		}
+		if w.cluster.hbEnabled() {
+			w.tel.addSpan(sp)
+		} else {
+			w.cluster.cfg.Trace.Add(sp)
+		}
+	}
+	return &response{}, nil
+}
+
+// assemblyFor returns the push assembly for req, creating it on first use.
+// Callers hold w.mu.
+func (w *worker) assemblyFor(req *request) *pushAssembly {
+	key := pushKey{req.ShuffleID, req.MapPart, req.Attempt}
+	a, ok := w.pending[key]
+	if !ok {
+		a = &pushAssembly{total: req.Chunks}
+		if spec := w.spec(req.ShuffleID); spec != nil && spec.Partitioner.Ready() {
+			a.ready = true
+			a.nParts = spec.Partitioner.NumPartitions()
+			a.bucketed = make(map[int][][]rdd.Pair)
+		} else {
+			a.flat = make(map[int][]rdd.Pair)
+		}
+		w.pending[key] = a
+	}
+	return a
+}
+
+// addPushChunk folds one arrived chunk into its assembly, bucketing it
+// per reduce immediately when the partitioner is ready — the incremental
+// half of incremental bucketing.
+func (w *worker) addPushChunk(req *request, seq int, records []rdd.Pair) error {
+	if seq < 0 || seq >= req.Chunks {
+		return fmt.Errorf("worker %d: push chunk seq %d out of range [0,%d)", w.id, seq, req.Chunks)
+	}
+	spec := w.spec(req.ShuffleID)
+	if spec == nil {
+		return fmt.Errorf("worker %d: unknown shuffle %d", w.id, req.ShuffleID)
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.mapOut[outKey{shuffleID, mapPart}] = records
+	a := w.assemblyFor(req)
+	if a.ready {
+		if _, dup := a.bucketed[seq]; !dup {
+			a.bucketed[seq] = rdd.BucketRecords(spec, records)
+			a.got++
+		}
+	} else {
+		if _, dup := a.flat[seq]; !dup {
+			a.flat[seq] = records
+			a.got++
+		}
+	}
+	return nil
+}
+
+// finishPushStream runs at a stream's terminal frame: if every chunk of
+// the push (across its parallel streams) has arrived, merge them in
+// sequence order and install the output.
+func (w *worker) finishPushStream(req *request) error {
+	key := pushKey{req.ShuffleID, req.MapPart, req.Attempt}
+	w.mu.Lock()
+	a := w.assemblyFor(req)
+	if a.got < a.total {
+		w.mu.Unlock()
+		return nil // sibling streams still in flight
+	}
+	delete(w.pending, key)
+	out := &storedOutput{attempt: req.Attempt}
+	if a.ready {
+		out.shards = make([][]rdd.Pair, a.nParts)
+		for seq := 0; seq < a.total; seq++ {
+			for r, shard := range a.bucketed[seq] {
+				out.shards[r] = append(out.shards[r], shard...)
+			}
+		}
+	} else {
+		for seq := 0; seq < a.total; seq++ {
+			out.records = append(out.records, a.flat[seq]...)
+		}
+	}
+	dup := w.installLocked(req.ShuffleID, req.MapPart, out)
+	w.mu.Unlock()
+	if dup {
+		w.cluster.counter("push_duplicates_total", nil).Inc()
+	}
+	return nil
+}
+
+// abortAssembly discards a partial assembly after a broken or failed
+// stream, so a retried push starts clean.
+func (w *worker) abortAssembly(req *request) {
+	w.mu.Lock()
+	delete(w.pending, pushKey{req.ShuffleID, req.MapPart, req.Attempt})
+	w.mu.Unlock()
+}
+
+// installLocked stores out under (shuffle, mapPart), last-write-wins by
+// attempt: an older attempt never clobbers a newer one. Reports whether an
+// output already existed (a duplicate push). Callers hold w.mu.
+func (w *worker) installLocked(shuffleID, mapPart int, out *storedOutput) (dup bool) {
+	key := outKey{shuffleID, mapPart}
+	if old := w.mapOut[key]; old != nil {
+		if old.attempt > out.attempt {
+			return true // stale retried push; keep the newer output
+		}
+		dup = true
+	}
+	w.mapOut[key] = out
+	return dup
+}
+
+// handleSample serves a key-sample request out of the stored flat records.
+func (w *worker) handleSample(req *request) *response {
+	records, err := w.stored(req.ShuffleID, req.MapPart)
+	if err != nil {
+		return &response{Err: err.Error()}
+	}
+	return &response{Keys: rdd.SampleKeys(records, req.Max)}
+}
+
+// streamFetch serves one reduce shard as a chunk stream. Errors travel in
+// the terminal frame; a nil error return means the exchange completed.
+func (w *worker) streamFetch(enc *gob.Encoder, req *request) error {
+	records, err := w.shardOf(req.ShuffleID, req.MapPart, req.Reduce)
+	if err != nil {
+		return enc.Encode(&chunk{Last: true, Err: err.Error()})
+	}
+	codec := w.cluster.cfg.Compression
+	for seq, part := range splitRecords(records, w.cluster.cfg.ChunkRecords) {
+		ch, err := makeChunk(seq, part, codec)
+		if err != nil {
+			return enc.Encode(&chunk{Last: true, Err: err.Error()})
+		}
+		if err := enc.Encode(ch); err != nil {
+			return err
+		}
+	}
+	return enc.Encode(&chunk{Last: true})
+}
+
+// storeMapOutput stores a locally produced map output (fetch mode), run
+// through the same bucketing and idempotency path as pushed outputs.
+func (w *worker) storeMapOutput(shuffleID, mapPart, attempt int, records []rdd.Pair) {
+	out := &storedOutput{attempt: attempt}
+	if spec := w.spec(shuffleID); spec != nil && spec.Partitioner.Ready() {
+		out.shards = rdd.BucketRecords(spec, records)
+	} else {
+		out.records = records
+	}
+	w.mu.Lock()
+	dup := w.installLocked(shuffleID, mapPart, out)
+	w.mu.Unlock()
+	if dup {
+		w.cluster.counter("push_duplicates_total", nil).Inc()
+	}
 }
 
 func (w *worker) clearOutputs() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.mapOut = make(map[outKey][]rdd.Pair)
+	w.mapOut = make(map[outKey]*storedOutput)
+	w.pending = make(map[pushKey]*pushAssembly)
 }
 
 func (w *worker) storedOutputs() int {
@@ -220,33 +497,54 @@ func (w *worker) storedOutputs() int {
 	return len(w.mapOut)
 }
 
+// stored returns a map output's flat records for sampling. Sampling runs
+// at the map barrier, before range partitioners are prepared, so sampled
+// outputs are still flat; bucketed outputs flatten in shard order.
 func (w *worker) stored(shuffleID, mapPart int) ([]rdd.Pair, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	records, ok := w.mapOut[outKey{shuffleID, mapPart}]
+	out, ok := w.mapOut[outKey{shuffleID, mapPart}]
 	if !ok {
 		return nil, fmt.Errorf("worker %d: no output for shuffle %d map %d", w.id, shuffleID, mapPart)
 	}
-	return records, nil
+	if out.records != nil || out.shards == nil {
+		return out.records, nil
+	}
+	var flat []rdd.Pair
+	for _, shard := range out.shards {
+		flat = append(flat, shard...)
+	}
+	return flat, nil
 }
 
-// shard buckets a stored map output for one reducer, using the shuffle
-// spec from the cluster's control plane.
-func (w *worker) shard(shuffleID, mapPart, reduce int) ([]rdd.Pair, error) {
-	records, err := w.stored(shuffleID, mapPart)
-	if err != nil {
-		return nil, err
-	}
-	specAny, ok := w.cluster.specs.Load(shuffleID)
+// shardOf returns one reduce shard of a stored output: an O(1) per-reduce
+// lookup once the output is bucketed. Flat outputs (range-partitioned
+// shuffles stored before the barrier) are bucketed exactly once, on the
+// first fetch — never re-bucketed per fetch.
+func (w *worker) shardOf(shuffleID, mapPart, reduce int) ([]rdd.Pair, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out, ok := w.mapOut[outKey{shuffleID, mapPart}]
 	if !ok {
-		return nil, fmt.Errorf("worker %d: unknown shuffle %d", w.id, shuffleID)
+		return nil, fmt.Errorf("worker %d: no output for shuffle %d map %d", w.id, shuffleID, mapPart)
 	}
-	spec := specAny.(*rdd.ShuffleSpec)
-	buckets := rdd.BucketRecords(spec, records)
-	if reduce < 0 || reduce >= len(buckets) {
+	if out.shards == nil {
+		spec := w.spec(shuffleID)
+		if spec == nil {
+			return nil, fmt.Errorf("worker %d: unknown shuffle %d", w.id, shuffleID)
+		}
+		if !spec.Partitioner.Ready() {
+			return nil, fmt.Errorf("worker %d: shuffle %d partitioner not ready", w.id, shuffleID)
+		}
+		out.shards = rdd.BucketRecords(spec, out.records)
+		out.records = nil
+		w.bucketBuilds.Add(1)
+		w.cluster.counter("bucket_builds_total", nil).Inc()
+	}
+	if reduce < 0 || reduce >= len(out.shards) {
 		return nil, fmt.Errorf("worker %d: reduce %d out of range", w.id, reduce)
 	}
-	return buckets[reduce], nil
+	return out.shards[reduce], nil
 }
 
 // sink returns where this worker's data-plane accounting goes: its
@@ -259,62 +557,170 @@ func (w *worker) sink(stats *Stats) flowSink {
 	return stats
 }
 
-// push ships a map output partition to a receiver worker over TCP.
-func (w *worker) push(addr string, shuffleID, mapPart int, records []rdd.Pair, stats *Stats) error {
+// pushStreams bounds the parallel chunk streams of one push.
+func (w *worker) pushStreams(chunks int) int {
+	n := w.cluster.cfg.PushFanout
+	if n < 1 {
+		n = 1
+	}
+	if chunks < 1 {
+		return 1
+	}
+	if n > chunks {
+		return chunks
+	}
+	return n
+}
+
+// push ships a map output partition to a receiver worker as chunked
+// streams over up to Config.PushFanout pooled connections in parallel.
+// The receiver reassembles by sequence number and installs the output
+// atomically once every chunk arrived, so a partially failed push is
+// invisible and safely retried under the same or a later attempt.
+func (w *worker) push(addr string, shuffleID, mapPart, attempt int, records []rdd.Pair, stats *Stats) error {
 	sink := w.sink(stats)
-	resp, err := w.pool.call(addr, request{
-		Kind: reqPush, ShuffleID: shuffleID, MapPart: mapPart, Records: records,
-	}, sink, w.id, w.cluster.siteOfAddr(addr))
-	if err != nil {
-		return fmt.Errorf("livecluster: push %d/%d to %s: %w", shuffleID, mapPart, addr, err)
+	codec := w.cluster.cfg.Compression
+	parts := splitRecords(records, w.cluster.cfg.ChunkRecords)
+	chunks := make([]*chunk, len(parts))
+	for seq, part := range parts {
+		ch, err := makeChunk(seq, part, codec)
+		if err != nil {
+			return fmt.Errorf("livecluster: push %d/%d to %s: %w", shuffleID, mapPart, addr, err)
+		}
+		chunks[seq] = ch
 	}
-	if resp.Err != "" {
-		return errors.New(resp.Err)
+	streams := w.pushStreams(len(chunks))
+	dst := w.cluster.siteOfAddr(addr)
+	errs := make([]error, streams)
+	remote := make([]string, streams)
+	var wg sync.WaitGroup
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = w.pool.exchange(addr, sink, w.id, dst, "push", func(pc *pooledConn) (int64, error) {
+				if err := pc.enc.Encode(&request{
+					Kind: reqPushChunk, ShuffleID: shuffleID, MapPart: mapPart,
+					Attempt: attempt, Chunks: len(chunks),
+				}); err != nil {
+					return 0, err
+				}
+				var savings int64
+				for seq := s; seq < len(chunks); seq += streams {
+					if err := pc.enc.Encode(chunks[seq]); err != nil {
+						return 0, err
+					}
+					savings += chunks[seq].savings()
+				}
+				if err := pc.enc.Encode(&chunk{Last: true}); err != nil {
+					return 0, err
+				}
+				var resp response
+				if err := pc.dec.Decode(&resp); err != nil {
+					return 0, err
+				}
+				remote[s] = resp.Err
+				return savings, nil
+			})
+		}(s)
 	}
-	sink.op(reqPush)
+	wg.Wait()
+	for s := 0; s < streams; s++ {
+		if errs[s] != nil {
+			return fmt.Errorf("livecluster: push %d/%d to %s: %w", shuffleID, mapPart, addr, errs[s])
+		}
+		if remote[s] != "" {
+			return fmt.Errorf("livecluster: push %d/%d to %s: %s", shuffleID, mapPart, addr, remote[s])
+		}
+	}
+	sink.op(reqPushChunk)
+	w.cluster.counter("push_chunks_total", nil).Add(int64(len(chunks)))
 	return nil
 }
 
-// fetch pulls one (map, reduce) shard from its holder over TCP.
+// fetch pulls one (map, reduce) shard from its holder as a chunk stream.
 func (w *worker) fetch(addr string, shuffleID, mapPart, reduce int, stats *Stats) ([]rdd.Pair, error) {
 	sink := w.sink(stats)
-	resp, err := w.pool.call(addr, request{
-		Kind: reqFetch, ShuffleID: shuffleID, MapPart: mapPart, Reduce: reduce,
-	}, sink, w.id, w.cluster.siteOfAddr(addr))
+	var out []rdd.Pair
+	var nchunks int64
+	err := w.pool.exchange(addr, sink, w.id, w.cluster.siteOfAddr(addr), "shuffle", func(pc *pooledConn) (int64, error) {
+		out, nchunks = nil, 0 // reset on transparent retry
+		if err := pc.enc.Encode(&request{
+			Kind: reqFetchStream, ShuffleID: shuffleID, MapPart: mapPart, Reduce: reduce,
+		}); err != nil {
+			return 0, err
+		}
+		var savings int64
+		for {
+			var ch chunk
+			if err := pc.dec.Decode(&ch); err != nil {
+				return 0, err
+			}
+			if ch.Last {
+				if ch.Err != "" {
+					return savings, remoteError{ch.Err}
+				}
+				return savings, nil
+			}
+			records, err := ch.decode()
+			if err != nil {
+				return 0, err
+			}
+			out = append(out, records...)
+			savings += ch.savings()
+			nchunks++
+		}
+	})
 	if err != nil {
 		return nil, fmt.Errorf("livecluster: fetch %d/%d/%d from %s: %w", shuffleID, mapPart, reduce, addr, err)
 	}
-	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
-	}
-	sink.op(reqFetch)
-	return resp.Records, nil
+	sink.op(reqFetchStream)
+	w.cluster.counter("fetch_chunks_total", nil).Add(nchunks)
+	return out, nil
 }
 
 // sampleKeys asks a holder for a key sample of one stored map output, on
 // the driver's own connection pool. Driver-side accounting is always
 // direct — the driver has no heartbeat buffer.
 func (c *Cluster) sampleKeys(addr string, shuffleID, mapPart, max int, stats *Stats) ([]string, error) {
-	resp, err := c.pool.call(addr, request{
-		Kind: reqSample, ShuffleID: shuffleID, MapPart: mapPart, Max: max,
-	}, stats, c.driverSite(), c.siteOfAddr(addr))
+	var keys []string
+	err := c.pool.exchange(addr, stats, c.driverSite(), c.siteOfAddr(addr), "sample", func(pc *pooledConn) (int64, error) {
+		if err := pc.enc.Encode(&request{
+			Kind: reqSample, ShuffleID: shuffleID, MapPart: mapPart, Max: max,
+		}); err != nil {
+			return 0, err
+		}
+		var resp response
+		if err := pc.dec.Decode(&resp); err != nil {
+			return 0, err
+		}
+		if resp.Err != "" {
+			return 0, remoteError{resp.Err}
+		}
+		keys = resp.Keys
+		return 0, nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("livecluster: sample %d/%d from %s: %w", shuffleID, mapPart, addr, err)
 	}
-	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
-	}
 	stats.op(reqSample)
-	return resp.Keys, nil
+	return keys, nil
 }
+
+// remoteError is a failure reported by the peer over a healthy exchange:
+// the connection is fine, so it is pooled again and the error is never
+// retried transparently.
+type remoteError struct{ msg string }
+
+func (e remoteError) Error() string { return e.msg }
 
 // class maps a request kind to its traffic class in byte accounting,
 // mirroring the simulator's traffic tags where the purposes align.
 func (k requestKind) class() string {
 	switch k {
-	case reqPush:
+	case reqPushChunk:
 		return "push"
-	case reqFetch:
+	case reqFetchStream:
 		return "shuffle"
 	case reqSample:
 		return "sample"
@@ -335,24 +741,45 @@ type pooledConn struct {
 func (pc *pooledConn) close() { _ = pc.conn.Close() }
 
 // poolSet pools client connections per remote address. The zero value is
-// ready to use.
+// ready to use (with no dial or I/O bounds).
 type poolSet struct {
 	mu   sync.Mutex
 	idle map[string][]*pooledConn
+
+	// dialTimeout bounds connection establishment; ioTimeout is the
+	// deadline one whole exchange (stream included) must finish within.
+	// Zero disables either bound.
+	dialTimeout time.Duration
+	ioTimeout   time.Duration
 }
 
 // get checks a connection to addr out of the pool, dialing a fresh one
-// (accounted via sink.dial) when none is idle.
-func (ps *poolSet) get(addr string, sink flowSink) (*pooledConn, error) {
+// (accounted via sink.dial) when none is idle. The second result reports
+// whether the connection came from the pool — pooled connections may have
+// been closed by the peer while idle, so their first exchange gets one
+// transparent retry.
+func (ps *poolSet) get(addr string, sink flowSink) (*pooledConn, bool, error) {
 	ps.mu.Lock()
 	if n := len(ps.idle[addr]); n > 0 {
 		pc := ps.idle[addr][n-1]
 		ps.idle[addr] = ps.idle[addr][:n-1]
 		ps.mu.Unlock()
-		return pc, nil
+		return pc, true, nil
 	}
 	ps.mu.Unlock()
-	conn, err := net.Dial("tcp", addr)
+	pc, err := ps.dial(addr, sink)
+	return pc, false, err
+}
+
+// dial opens a fresh connection to addr under the configured dial timeout.
+func (ps *poolSet) dial(addr string, sink flowSink) (*pooledConn, error) {
+	var conn net.Conn
+	var err error
+	if ps.dialTimeout > 0 {
+		conn, err = net.DialTimeout("tcp", addr, ps.dialTimeout)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -373,32 +800,70 @@ func (ps *poolSet) put(addr string, pc *pooledConn) {
 	ps.idle[addr] = append(ps.idle[addr], pc)
 }
 
-// call runs one request/response exchange on a pooled connection and
-// accounts the bytes that crossed the socket through the sink — directly
-// into the job's stats (byte total, traffic-matrix cell, class split all
-// under one lock, so the matrix total always equals BytesOverTCP exactly)
-// or into a worker's heartbeat buffer, which reaches the same stats on
-// the next beat. Connections that error are dropped, not pooled.
-func (ps *poolSet) call(addr string, req request, sink flowSink, src, dst int) (response, error) {
-	pc, err := ps.get(addr, sink)
+// exchange runs one request exchange (fn drives the framing) on a pooled
+// connection to addr under the configured I/O deadline, then accounts the
+// payload bytes that crossed the socket through the sink — directly into
+// the job's stats (byte total, traffic-matrix cell, class split all under
+// one lock, so the matrix total always equals BytesOverTCP exactly) or
+// into a worker's heartbeat buffer, which reaches the same stats on the
+// next beat. fn returns the exchange's compression savings; raw bytes are
+// accounted as wire + savings.
+//
+// A connection that came from the pool may have been closed by the peer
+// while idle; if its exchange fails with anything but a timeout, the
+// exchange is retried exactly once on a freshly dialed connection.
+// Connections that error are dropped, not pooled; a remoteError leaves
+// the connection healthy and pooled.
+func (ps *poolSet) exchange(addr string, sink flowSink, src, dst int, class string, fn func(*pooledConn) (int64, error)) error {
+	pc, pooled, err := ps.get(addr, sink)
 	if err != nil {
-		return response{}, err
+		return err
 	}
-	before := pc.conn.bytes.Load()
-	if err := pc.enc.Encode(&req); err != nil {
+	savings, wire, err := ps.runExchange(pc, fn)
+	if err != nil {
+		var remote remoteError
+		if errors.As(err, &remote) {
+			// The peer answered; the wire worked. Account and pool.
+			if sink != nil {
+				sink.flow(src, dst, class, wire, wire+savings)
+			}
+			ps.put(addr, pc)
+			return err
+		}
 		pc.close()
-		return response{}, err
-	}
-	var resp response
-	if err := pc.dec.Decode(&resp); err != nil {
-		pc.close()
-		return response{}, err
+		var ne net.Error
+		if !pooled || (errors.As(err, &ne) && ne.Timeout()) {
+			// Fresh connections don't retry; neither do timeouts — a hung
+			// peer would only burn a second deadline.
+			return err
+		}
+		if pc, err = ps.dial(addr, sink); err != nil {
+			return err
+		}
+		if savings, wire, err = ps.runExchange(pc, fn); err != nil {
+			pc.close()
+			return err
+		}
 	}
 	if sink != nil {
-		sink.flow(src, dst, req.Kind.class(), pc.conn.bytes.Load()-before)
+		sink.flow(src, dst, class, wire, wire+savings)
 	}
 	ps.put(addr, pc)
-	return resp, nil
+	return nil
+}
+
+// runExchange applies the I/O deadline, runs fn, clears the deadline, and
+// measures the exchange's wire bytes.
+func (ps *poolSet) runExchange(pc *pooledConn, fn func(*pooledConn) (int64, error)) (savings, wire int64, err error) {
+	before := pc.conn.bytes.Load()
+	if ps.ioTimeout > 0 {
+		_ = pc.conn.SetDeadline(time.Now().Add(ps.ioTimeout))
+	}
+	savings, err = fn(pc)
+	if ps.ioTimeout > 0 {
+		_ = pc.conn.SetDeadline(time.Time{})
+	}
+	return savings, pc.conn.bytes.Load() - before, err
 }
 
 func (ps *poolSet) closeAll() {
@@ -428,4 +893,14 @@ func (c *countingConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
 	c.bytes.Add(int64(n))
 	return n, err
+}
+
+// counter resolves a run-scoped metrics counter; nil (a no-op counter)
+// between jobs. Registry writes are thread-safe and do not affect the
+// byte-conservation invariant, so workers update them directly.
+func (c *Cluster) counter(name string, labels obs.Labels) *obs.Counter {
+	if run := c.curRun.Load(); run != nil {
+		return run.stats.Events.Registry().Counter(name, labels)
+	}
+	return nil
 }

@@ -70,7 +70,11 @@ type Report struct {
 	Retries       int           `json:"retries"`
 	Dials         int64         `json:"dials,omitempty"`
 	BytesTotal    float64       `json:"bytes_total"`
-	Metrics       []MetricPoint `json:"metrics,omitempty"`
+	// BytesRaw is the uncompressed-equivalent payload total: BytesTotal
+	// plus whatever chunk compression saved on the wire. Zero on backends
+	// without wire compression (the simulator).
+	BytesRaw float64       `json:"bytes_raw,omitempty"`
+	Metrics  []MetricPoint `json:"metrics,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON.

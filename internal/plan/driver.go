@@ -38,8 +38,11 @@ type Backend interface {
 	// RunMapTask computes map partition part of st at site, applies
 	// map-side preparation for st.OutSpec, and stores the prepared
 	// output — pushed to site aggTo the moment the task finishes when
-	// aggTo >= 0 (the paper's transferTo), kept local otherwise.
-	RunMapTask(st *dag.Stage, part, site, aggTo int) error
+	// aggTo >= 0 (the paper's transferTo), kept local otherwise. attempt
+	// is the 1-based attempt number; backends use it to keep duplicate
+	// outputs from retried attempts idempotent (last-write-wins by
+	// attempt).
+	RunMapTask(st *dag.Stage, part, site, aggTo, attempt int) error
 
 	// RunResultTask computes result-stage partition part at site and
 	// returns its records.
@@ -191,9 +194,9 @@ func (d *Driver) runStage(st *dag.Stage) ([][]rdd.Pair, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-d.sems[site] }()
-			errs[part] = d.attempt(st, part, site, func(site int) error {
+			errs[part] = d.attempt(st, part, site, func(site, attempt int) error {
 				if st.OutSpec != nil {
-					return d.be.RunMapTask(st, part, site, aggTo)
+					return d.be.RunMapTask(st, part, site, aggTo, attempt)
 				}
 				recs, err := d.be.RunResultTask(st, part, site)
 				results[part] = recs
@@ -290,10 +293,10 @@ func (d *Driver) boundarySites(st *dag.Stage) []int {
 // transition to the backend's event sink. Retried attempts are re-placed
 // away from sites the backend reports unhealthy (SiteHealth), so a task
 // whose worker died mid-run fails over instead of retrying into the hole.
-func (d *Driver) attempt(st *dag.Stage, part, site int, run func(site int) error) error {
+func (d *Driver) attempt(st *dag.Stage, part, site int, run func(site, attempt int) error) error {
 	for att := 1; ; att++ {
 		d.taskEvent(obs.PhaseStarted, st, part, site, att, nil)
-		err := run(site)
+		err := run(site, att)
 		if err == nil {
 			d.taskEvent(obs.PhaseFinished, st, part, site, att, nil)
 			return nil

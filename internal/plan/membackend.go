@@ -10,11 +10,16 @@ import (
 	"wanshuffle/internal/topology"
 )
 
-// memOutput is one map task's prepared output held at a site.
+// memOutput is one map task's prepared output held at a site. shards
+// caches the per-reduce bucketing so repeated reads are O(1) lookups, the
+// in-memory mirror of the live cluster's incremental bucketing; attempt
+// keeps duplicate outputs from retried tasks idempotent.
 type memOutput struct {
 	records []rdd.Pair
+	shards  [][]rdd.Pair
 	bytes   float64
 	site    int
+	attempt int
 	done    bool
 }
 
@@ -87,7 +92,7 @@ func (b *MemBackend) InputSizes(st *dag.Stage) []float64 {
 
 // RunMapTask implements Backend: evaluate the partition, prepare it for the
 // stage's shuffle, and store it at aggTo (pushed) or site (kept local).
-func (b *MemBackend) RunMapTask(st *dag.Stage, part, site, aggTo int) error {
+func (b *MemBackend) RunMapTask(st *dag.Stage, part, site, aggTo, attempt int) error {
 	recs, err := EvalStagePart(st, part, b.read)
 	if err != nil {
 		return err
@@ -104,7 +109,10 @@ func (b *MemBackend) RunMapTask(st *dag.Stage, part, site, aggTo int) error {
 		outs = make([]memOutput, st.NumTasks)
 		b.outputs[st.OutSpec.ID] = outs
 	}
-	outs[part] = memOutput{records: prepared, bytes: rdd.SizeOfAll(prepared), site: holder, done: true}
+	if outs[part].done && outs[part].attempt > attempt {
+		return nil // a newer attempt already landed; keep its output
+	}
+	outs[part] = memOutput{records: prepared, bytes: rdd.SizeOfAll(prepared), site: holder, attempt: attempt, done: true}
 	return nil
 }
 
@@ -142,17 +150,21 @@ func (b *MemBackend) OnStage(span StageSpan) {
 }
 
 // read gathers one reduce partition's shard from every map output, in map
-// order.
+// order. Each output is bucketed at most once (cached in memOutput.shards),
+// so reading R reduce partitions does not re-bucket the output R times.
 func (b *MemBackend) read(spec *rdd.ShuffleSpec, reducePart int) ([]rdd.Pair, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	outs := b.outputs[spec.ID]
 	var recs []rdd.Pair
-	for part, out := range outs {
-		if !out.done {
+	for part := range outs {
+		if !outs[part].done {
 			return nil, fmt.Errorf("plan: shuffle %d map output %d missing", spec.ID, part)
 		}
-		recs = append(recs, rdd.BucketRecords(spec, out.records)[reducePart]...)
+		if outs[part].shards == nil {
+			outs[part].shards = rdd.BucketRecords(spec, outs[part].records)
+		}
+		recs = append(recs, outs[part].shards[reducePart]...)
 	}
 	return recs, nil
 }

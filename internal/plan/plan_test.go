@@ -250,12 +250,12 @@ type flakyBackend struct {
 	failFirst int
 }
 
-func (b *flakyBackend) RunMapTask(st *dag.Stage, part, site, aggTo int) error {
+func (b *flakyBackend) RunMapTask(st *dag.Stage, part, site, aggTo, attempt int) error {
 	if b.failFirst > 0 {
 		b.failFirst--
 		return fmt.Errorf("flaky: injected failure")
 	}
-	return b.MemBackend.RunMapTask(st, part, site, aggTo)
+	return b.MemBackend.RunMapTask(st, part, site, aggTo, attempt)
 }
 
 // deadSiteBackend wraps MemBackend with a permanently dead site: every
@@ -280,11 +280,11 @@ func (b *deadSiteBackend) note(site int) error {
 	return nil
 }
 
-func (b *deadSiteBackend) RunMapTask(st *dag.Stage, part, site, aggTo int) error {
+func (b *deadSiteBackend) RunMapTask(st *dag.Stage, part, site, aggTo, attempt int) error {
 	if err := b.note(site); err != nil {
 		return err
 	}
-	return b.MemBackend.RunMapTask(st, part, site, aggTo)
+	return b.MemBackend.RunMapTask(st, part, site, aggTo, attempt)
 }
 
 func (b *deadSiteBackend) RunResultTask(st *dag.Stage, part, site int) ([]rdd.Pair, error) {
