@@ -45,12 +45,25 @@
 //	-compress          per-chunk compression codec for pushes and fetches:
 //	                   none | gzip | flate (default none). Compressed runs
 //	                   report bytes_raw_total >= bytes_wire_total.
-//	-chunk-records     records per chunk frame (0 = 256 default)
+//	-chunk-records     records per chunk frame (default 256; must be > 0)
+//	-push-fanout       parallel chunk streams per push (default 2; must
+//	                   be > 0; 1 = serial)
 //	-dial-timeout      TCP dial timeout for data-plane connections
 //	                   (0 = 5s default, negative disables)
 //	-io-timeout        per-exchange I/O deadline; a hung peer fails the
 //	                   task attempt instead of wedging the run (0 = 30s
 //	                   default, negative disables)
+//
+// Block store (-live storage plane):
+//
+//	-memory-budget     per-worker resident budget for stored shuffle
+//	                   blocks, e.g. 64KB, 16MiB, or plain bytes. When
+//	                   exceeded, the coldest outputs spill to temp files
+//	                   and reload transparently on fetch. Empty (default)
+//	                   keeps everything resident; must parse positive.
+//	-spill-dir         directory for spill files (default: OS temp dir);
+//	                   each worker uses its own subdirectory, removed on
+//	                   shutdown
 //
 // -gantt, -chrome, -matrix, and -report all work in both modes: a
 // simulated run renders virtual time and per-region traffic, while a -live
@@ -67,6 +80,7 @@ import (
 	"log/slog"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -106,10 +120,26 @@ func run(args []string, stdout io.Writer) error {
 	heartbeat := fs.Duration("heartbeat", 0, "-live worker heartbeat interval (0 = 50ms default, negative disables)")
 	staleAfter := fs.Duration("stale-after", 0, "-live heartbeat staleness threshold (0 = 1s)")
 	compress := fs.String("compress", "", "-live per-chunk compression codec: none | gzip | flate")
-	chunkRecords := fs.Int("chunk-records", 0, "-live records per chunk frame (0 = 256 default)")
+	chunkRecords := fs.Int("chunk-records", 256, "-live records per chunk frame (must be positive)")
+	pushFanout := fs.Int("push-fanout", 2, "-live parallel chunk streams per push (must be positive; 1 = serial)")
 	dialTimeout := fs.Duration("dial-timeout", 0, "-live data-plane dial timeout (0 = 5s default, negative disables)")
 	ioTimeout := fs.Duration("io-timeout", 0, "-live per-exchange I/O deadline (0 = 30s default, negative disables)")
+	memoryBudget := fs.String("memory-budget", "", "-live per-worker resident budget for stored shuffle blocks, e.g. 64KB or 16MiB (empty = unlimited)")
+	spillDir := fs.String("spill-dir", "", "-live directory for spilled shuffle blocks (empty = OS temp dir)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Flag validation: a zero or negative chunk size, fanout, or budget has
+	// no meaningful interpretation on the data plane — fail loudly up front
+	// instead of letting a silent default mask the typo.
+	if *chunkRecords <= 0 {
+		return fmt.Errorf("-chunk-records must be positive, got %d", *chunkRecords)
+	}
+	if *pushFanout <= 0 {
+		return fmt.Errorf("-push-fanout must be positive, got %d", *pushFanout)
+	}
+	budgetBytes, err := parseMemoryBudget(*memoryBudget)
+	if err != nil {
 		return err
 	}
 
@@ -149,7 +179,9 @@ func run(args []string, stdout io.Writer) error {
 			report: *report, validate: *validate,
 			heartbeat: *heartbeat, staleAfter: *staleAfter,
 			compress: *compress, chunkRecords: *chunkRecords,
+			pushFanout:  *pushFanout,
 			dialTimeout: *dialTimeout, ioTimeout: *ioTimeout,
+			memoryBudget: budgetBytes, spillDir: *spillDir,
 			obs: obsOpts,
 		}, stdout)
 	}
@@ -335,9 +367,49 @@ type liveOptions struct {
 	staleAfter   time.Duration
 	compress     string
 	chunkRecords int
+	pushFanout   int
 	dialTimeout  time.Duration
 	ioTimeout    time.Duration
+	memoryBudget int64
+	spillDir     string
 	obs          obsOptions
+}
+
+// parseMemoryBudget parses the -memory-budget flag: a positive integer
+// with an optional binary (KiB/MiB/GiB) or decimal (KB/MB/GB, or bare
+// K/M/G) suffix; empty means no budget (everything stays resident).
+func parseMemoryBudget(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	suffixes := []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30},
+		{"KB", 1e3}, {"MB", 1e6}, {"GB", 1e9},
+		{"K", 1e3}, {"M", 1e6}, {"G", 1e9}, {"B", 1},
+	}
+	num, mult := s, int64(1)
+	for _, sf := range suffixes {
+		if len(s) > len(sf.suffix) && strings.EqualFold(s[len(s)-len(sf.suffix):], sf.suffix) {
+			num, mult = strings.TrimSpace(s[:len(s)-len(sf.suffix)]), sf.mult
+			break
+		}
+	}
+	n, err := strconv.ParseInt(num, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("-memory-budget: cannot parse %q (want e.g. 65536, 64KB, or 16MiB)", s)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("-memory-budget must be positive, got %q", s)
+	}
+	budget := n * mult
+	if budget/mult != n {
+		return 0, fmt.Errorf("-memory-budget %q overflows", s)
+	}
+	return budget, nil
 }
 
 // runLive executes the workload on a real loopback TCP cluster. Only the
@@ -363,7 +435,9 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOp
 		Workers: 6, Mode: mode, Trace: tracer,
 		HeartbeatInterval: opts.heartbeat, StaleAfter: opts.staleAfter,
 		Compression: opts.compress, ChunkRecords: opts.chunkRecords,
+		PushFanout:  opts.pushFanout,
 		DialTimeout: opts.dialTimeout, IOTimeout: opts.ioTimeout,
+		MemoryBudget: opts.memoryBudget, SpillDir: opts.spillDir,
 		Logger: opts.obs.logger,
 	})
 	if err != nil {
@@ -444,6 +518,10 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOp
 	}
 	fmt.Fprintf(stdout, "  pushes/fetches:   %d/%d (%d samples, %d dials, %d retries)\n",
 		stats.PushConnections, stats.FetchConnections, stats.SampleRequests, stats.Dials, stats.Retries)
+	if st := stats.Storage(); st.SpillEvents > 0 {
+		fmt.Fprintf(stdout, "  block store:      %d spills (%d bytes to disk, %d reloaded), %d bytes resident\n",
+			st.SpillEvents, st.SpilledBytesTotal, st.ReloadBytesTotal, st.ResidentBytes)
+	}
 	fmt.Fprintln(stdout, "  stages:")
 	for _, st := range stats.StageSpans {
 		fmt.Fprintf(stdout, "    %-34s %7.3f -> %7.3f (%6.3f s)\n", st.Name, st.Start, st.End, st.End-st.Start)

@@ -109,6 +109,53 @@ func TestReportEndpointMatchesReportFile(t *testing.T) {
 	}
 }
 
+// TestFlagValidation checks the data-plane flags fail loudly on
+// non-positive values instead of silently misbehaving.
+func TestFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero chunk records", []string{"-chunk-records", "0"}, "-chunk-records must be positive"},
+		{"negative chunk records", []string{"-chunk-records", "-3"}, "-chunk-records must be positive"},
+		{"zero push fanout", []string{"-push-fanout", "0"}, "-push-fanout must be positive"},
+		{"negative push fanout", []string{"-push-fanout", "-1"}, "-push-fanout must be positive"},
+		{"zero memory budget", []string{"-memory-budget", "0"}, "-memory-budget must be positive"},
+		{"negative memory budget", []string{"-memory-budget", "-64KB"}, "-memory-budget must be positive"},
+		{"garbage memory budget", []string{"-memory-budget", "lots"}, "cannot parse"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"-workload", "wordcount", "-scale", "0.01"}, tc.args...)
+			err := run(args, io.Discard)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseMemoryBudget(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+	}{
+		{"", 0}, {"65536", 65536}, {"64KB", 64e3}, {"64KiB", 64 << 10},
+		{"16MB", 16e6}, {"16MiB", 16 << 20}, {"2GB", 2e9}, {"2GiB", 2 << 30},
+		{"5K", 5e3}, {"3M", 3e6}, {"1G", 1e9}, {"128B", 128}, {" 8kb ", 8e3},
+	} {
+		got, err := parseMemoryBudget(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("parseMemoryBudget(%q) = (%d, %v), want %d", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"0", "-1", "KB", "4TB", "1.5MB"} {
+		if _, err := parseMemoryBudget(bad); err == nil {
+			t.Errorf("parseMemoryBudget(%q) accepted", bad)
+		}
+	}
+}
+
 func TestBuildLoggerLevels(t *testing.T) {
 	for _, lvl := range []string{"debug", "info", "warn", "error"} {
 		if l, err := buildLogger(lvl); err != nil || l == nil {

@@ -123,7 +123,12 @@ func (r *liveRun) RunMapTask(st *dag.Stage, part, site, aggTo, attempt int) erro
 		r.span(trace.KindPush, site, st.ID, part, tPush)
 		holder = aggTo
 	} else {
-		w.storeMapOutput(st.OutSpec.ID, part, attempt, prepared)
+		// Fetch mode: the output stays at its mapper, landing in the same
+		// block store pushes assemble into (and spilling under the same
+		// budget), so later fetches stream it back out through one path.
+		if err := w.storeMapOutput(st.OutSpec.ID, part, attempt, prepared); err != nil {
+			return err
+		}
 	}
 	r.mu.Lock()
 	hs := r.holders[st.OutSpec.ID]

@@ -33,10 +33,12 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"wanshuffle/internal/blockstore"
 	"wanshuffle/internal/obs"
 	"wanshuffle/internal/plan"
 	"wanshuffle/internal/rdd"
@@ -120,6 +122,17 @@ type Config struct {
 	// retryable task error instead of wedging the run. Zero means the 30s
 	// default; negative disables the bound.
 	IOTimeout time.Duration
+	// MemoryBudget bounds each worker's resident shuffle-block bytes.
+	// Zero (the default) keeps every output in memory; a positive budget
+	// makes each worker's block store spill its coldest outputs to temp
+	// files under SpillDir and reload them transparently on fetch, so an
+	// aggregator concentrating a whole job's shuffle input is bounded by
+	// disk rather than heap. Negative is rejected by New.
+	MemoryBudget int64
+	// SpillDir is where spill files live (each worker uses its own
+	// subdirectory, removed on Close). Empty means the OS temp dir. Only
+	// meaningful with a positive MemoryBudget.
+	SpillDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -236,10 +249,23 @@ type Stats struct {
 	// a metrics registry mirroring them.
 	Events *obs.Collector
 
+	// storage snapshots the cluster's block-store accounting (set by Run;
+	// the stores lock internally, so reading it mid-run is safe).
+	storage func() blockstore.Stats
+
 	// mu guards BytesOverTCP, TrafficMatrix, BytesByClass, StageSpans,
 	// CompletionSec, and Retries against concurrent scrapes; the request
 	// counters (Push/Fetch/Sample/Dials) are atomics.
 	mu sync.Mutex
+}
+
+// Storage returns the block-store accounting summed across workers (the
+// zero value when the stats did not come from a cluster run).
+func (s *Stats) Storage() blockstore.Stats {
+	if s.storage == nil {
+		return blockstore.Stats{}
+	}
+	return s.storage()
 }
 
 // flow implements flowSink: account one exchange's wire bytes into the
@@ -355,6 +381,19 @@ func (s *Stats) RunReport(workload string, tr *trace.SyncRecorder) *obs.Report {
 	bytesTotal := float64(s.BytesOverTCP)
 	bytesRaw := float64(s.BytesRaw)
 	s.mu.Unlock()
+	var storage *obs.StorageStats
+	if s.storage != nil {
+		st := s.storage()
+		storage = &obs.StorageStats{
+			ResidentBytes:     float64(st.ResidentBytes),
+			ResidentOutputs:   st.ResidentOutputs,
+			SpilledBytes:      float64(st.SpilledBytes),
+			SpilledOutputs:    st.SpilledOutputs,
+			SpilledBytesTotal: float64(st.SpilledBytesTotal),
+			SpillEvents:       st.SpillEvents,
+			ReloadBytesTotal:  float64(st.ReloadBytesTotal),
+		}
+	}
 	return &obs.Report{
 		Schema:         obs.SchemaVersion,
 		Backend:        "live",
@@ -372,6 +411,7 @@ func (s *Stats) RunReport(workload string, tr *trace.SyncRecorder) *obs.Report {
 		Dials:          atomic.LoadInt64(&s.Dials),
 		BytesTotal:     bytesTotal,
 		BytesRaw:       bytesRaw,
+		Storage:        storage,
 		Metrics:        s.Events.Registry().Snapshot(),
 	}
 }
@@ -389,6 +429,9 @@ func New(cfg Config) (*Cluster, error) {
 	codec, ok := validCodec(cfg.Compression)
 	if !ok {
 		return nil, fmt.Errorf("livecluster: unknown compression codec %q (want none, gzip, or flate)", cfg.Compression)
+	}
+	if cfg.MemoryBudget < 0 {
+		return nil, fmt.Errorf("livecluster: memory budget must be positive (or zero for unlimited), got %d", cfg.MemoryBudget)
 	}
 	cfg.Compression = codec
 	c := &Cluster{
@@ -431,6 +474,56 @@ func New(cfg Config) (*Cluster, error) {
 	c.log.Info("livecluster: started", "workers", cfg.Workers, "mode", cfg.Mode.String(),
 		"heartbeat", cfg.HeartbeatInterval, "stale_after", cfg.StaleAfter)
 	return c, nil
+}
+
+// newStore builds one worker's shuffle block store: fully resident by
+// default, budget-bounded with disk spill when Config.MemoryBudget is
+// set. Its accountant mirrors every change into the running job's metrics
+// registry (no-op between jobs).
+func (c *Cluster) newStore(id int) (blockstore.Store, error) {
+	acct := blockstore.NewAccountant(c.storeObserver(id))
+	if c.cfg.MemoryBudget > 0 {
+		return blockstore.NewSpillStore(blockstore.SpillConfig{
+			MemoryBudget: c.cfg.MemoryBudget,
+			Dir:          c.cfg.SpillDir,
+		}, acct)
+	}
+	return blockstore.NewMemStore(acct), nil
+}
+
+// storeObserver mirrors one worker store's byte accounting into the
+// current run's metrics registry: a per-worker resident-bytes gauge plus
+// cumulative spill/reload counters. Registry writes are thread-safe and
+// never feed back into the store, so the observer is safe to run under
+// the accountant's lock.
+func (c *Cluster) storeObserver(id int) func(blockstore.Event) {
+	labels := obs.Labels{"worker": strconv.Itoa(id)}
+	return func(ev blockstore.Event) {
+		run := c.curRun.Load()
+		if run == nil {
+			return
+		}
+		reg := run.stats.Events.Registry()
+		reg.Gauge("blockstore_resident_bytes", labels).Set(float64(ev.Stats.ResidentBytes))
+		switch ev.Kind {
+		case blockstore.EventSpill:
+			reg.Counter("blockstore_spilled_bytes_total", labels).Add(ev.Bytes)
+			reg.Counter("blockstore_spill_events_total", labels).Inc()
+		case blockstore.EventReload:
+			reg.Counter("blockstore_reload_bytes_total", labels).Add(ev.Bytes)
+		}
+	}
+}
+
+// StorageStats sums the workers' block-store accounting: resident and
+// spilled occupancy plus cumulative spill/reload activity. Safe to call
+// mid-run.
+func (c *Cluster) StorageStats() blockstore.Stats {
+	var total blockstore.Stats
+	for _, w := range c.workers {
+		total.Add(w.store.Accountant().Stats())
+	}
+	return total
 }
 
 // driverSite is the traffic-matrix index of the driver's connection pool.
@@ -522,6 +615,7 @@ func (c *Cluster) Run(target *rdd.RDD) ([]rdd.Pair, *Stats, error) {
 		TrafficMatrix:        matrix,
 		BytesByClass:         map[string]int64{},
 		Events:               obs.NewCollector(),
+		storage:              c.StorageStats,
 	}
 	run := newLiveRun(c, stats, job.Plan)
 	c.curRun.Store(run)
@@ -565,7 +659,7 @@ func (c *Cluster) resetJobState() {
 		return true
 	})
 	for _, w := range c.workers {
-		w.clearOutputs()
+		w.resetRun()
 	}
 }
 

@@ -1,0 +1,168 @@
+package livecluster
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"wanshuffle/internal/rdd"
+	"wanshuffle/internal/topology"
+)
+
+// poolServer accepts connections on loopback and tracks them so tests can
+// observe how many were dialed and whether the client closed them.
+type poolServer struct {
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newPoolServer(t *testing.T) *poolServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &poolServer{ln: ln}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns = append(s.conns, c)
+			s.mu.Unlock()
+		}
+	}()
+	return s
+}
+
+func (s *poolServer) addr() string { return s.ln.Addr().String() }
+
+func (s *poolServer) accepted(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == want {
+			return
+		}
+		if n > want || time.Now().After(deadline) {
+			t.Fatalf("server accepted %d connections, want %d", n, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// allClosedByPeer fails unless every accepted connection reads EOF — i.e.
+// the client side closed them all.
+func (s *poolServer) allClosedByPeer(t *testing.T) {
+	t.Helper()
+	s.mu.Lock()
+	conns := append([]net.Conn(nil), s.conns...)
+	s.mu.Unlock()
+	for i, c := range conns {
+		_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := c.Read(make([]byte, 1)); err != io.EOF {
+			t.Fatalf("connection %d not closed by client: read err = %v", i, err)
+		}
+	}
+}
+
+// TestPoolReusesIdleConnections checks a returned connection is handed
+// back out instead of dialing again, and that get reports its provenance.
+func TestPoolReusesIdleConnections(t *testing.T) {
+	srv := newPoolServer(t)
+	ps := &poolSet{}
+	defer ps.closeAll()
+
+	pc1, pooled, err := ps.get(srv.addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled {
+		t.Fatal("first get claims the connection came from the pool")
+	}
+	srv.accepted(t, 1)
+
+	ps.put(srv.addr(), pc1)
+	pc2, pooled, err := ps.get(srv.addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pooled || pc2 != pc1 {
+		t.Fatalf("second get: pooled=%v, same conn=%v; want reuse", pooled, pc2 == pc1)
+	}
+	srv.accepted(t, 1) // still just one dial
+	ps.put(srv.addr(), pc2)
+}
+
+// TestPoolCloseAllEvicts checks closeAll closes every idle connection and
+// empties the pool, so the next get dials fresh.
+func TestPoolCloseAllEvicts(t *testing.T) {
+	srv := newPoolServer(t)
+	ps := &poolSet{}
+
+	var held []*pooledConn
+	for i := 0; i < 3; i++ {
+		pc, _, err := ps.get(srv.addr(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, pc)
+	}
+	srv.accepted(t, 3)
+	for _, pc := range held {
+		ps.put(srv.addr(), pc)
+	}
+	ps.closeAll()
+
+	ps.mu.Lock()
+	idle := ps.idle
+	ps.mu.Unlock()
+	if idle != nil {
+		t.Fatalf("idle map not cleared after closeAll: %v", idle)
+	}
+	srv.allClosedByPeer(t)
+
+	pc, pooled, err := ps.get(srv.addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled {
+		t.Fatal("get after closeAll returned an evicted connection")
+	}
+	srv.accepted(t, 4)
+	pc.close()
+}
+
+// TestClusterCloseLeaksNoConnections runs a job, closes the cluster, and
+// checks every worker's pool is empty — no idle sockets outlive Close.
+func TestClusterCloseLeaksNoConnections(t *testing.T) {
+	cluster, err := New(Config{Workers: 4, Mode: ModePush})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := rdd.RandomLineage(1, rdd.NewGraph(), topology.SixRegionEC2().Workers())
+	if _, _, err := cluster.Run(job); err != nil {
+		cluster.Close()
+		t.Fatal(err)
+	}
+	workers := cluster.workers
+	cluster.Close()
+	for i, w := range workers {
+		w.pool.mu.Lock()
+		idle := w.pool.idle
+		w.pool.mu.Unlock()
+		if len(idle) != 0 {
+			t.Fatalf("worker %d pool still holds idle connections after Close: %v", i, idle)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wanshuffle/internal/blockstore"
 	"wanshuffle/internal/obs"
 	"wanshuffle/internal/rdd"
 	"wanshuffle/internal/topology"
@@ -61,20 +62,6 @@ type response struct {
 	Keys []string
 }
 
-type outKey struct{ shuffle, mapPart int }
-
-// storedOutput is one map output at its holder, keyed by the attempt that
-// produced it. Push chunks are bucketed into per-reduce shards as they
-// arrive whenever the shuffle's partitioner is ready, so a fetch is an
-// O(1) shard lookup; outputs of sample-then-range shuffles stay flat until
-// the partitioner is prepared at the barrier and are bucketed exactly once
-// on first fetch.
-type storedOutput struct {
-	attempt int
-	records []rdd.Pair   // flat records; nil once bucketed
-	shards  [][]rdd.Pair // per-reduce shards; nil until bucketed
-}
-
 // pushKey identifies one in-flight push assembly.
 type pushKey struct{ shuffle, mapPart, attempt int }
 
@@ -99,10 +86,17 @@ type worker struct {
 	addr    string
 	ln      net.Listener
 	cluster *Cluster
-	pool    poolSet
+
+	// store holds the worker's shuffle blocks: assembled push outputs and
+	// fetch-mode local map outputs, flat until their partitioner is ready
+	// and per-reduce shards afterwards. With Config.MemoryBudget set it is
+	// a blockstore.SpillStore, so an aggregator's resident heap stays
+	// bounded while cold outputs ride on disk. The store locks internally;
+	// w.mu only guards the in-flight push assemblies and connection set.
+	store blockstore.Store
+	pool  poolSet
 
 	mu      sync.Mutex
-	mapOut  map[outKey]*storedOutput
 	pending map[pushKey]*pushAssembly
 	conns   map[net.Conn]bool // open server-side connections
 
@@ -136,12 +130,17 @@ func newWorker(id int, c *Cluster) (*worker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("livecluster: worker %d listen: %w", id, err)
 	}
+	store, err := c.newStore(id)
+	if err != nil {
+		_ = ln.Close()
+		return nil, fmt.Errorf("livecluster: worker %d block store: %w", id, err)
+	}
 	w := &worker{
 		id:      id,
 		addr:    ln.Addr().String(),
 		ln:      ln,
 		cluster: c,
-		mapOut:  make(map[outKey]*storedOutput),
+		store:   store,
 		pending: make(map[pushKey]*pushAssembly),
 		conns:   make(map[net.Conn]bool),
 		tel:     newWorkerTel(),
@@ -175,6 +174,7 @@ func (w *worker) close() {
 	w.hbMu.Lock()
 	w.dropHBConn()
 	w.hbMu.Unlock()
+	_ = w.store.Close()
 }
 
 func (w *worker) serve() {
@@ -394,25 +394,21 @@ func (w *worker) finishPushStream(req *request) error {
 		return nil // sibling streams still in flight
 	}
 	delete(w.pending, key)
-	out := &storedOutput{attempt: req.Attempt}
+	out := blockstore.Output{Attempt: req.Attempt}
 	if a.ready {
-		out.shards = make([][]rdd.Pair, a.nParts)
+		out.Shards = make([][]rdd.Pair, a.nParts)
 		for seq := 0; seq < a.total; seq++ {
 			for r, shard := range a.bucketed[seq] {
-				out.shards[r] = append(out.shards[r], shard...)
+				out.Shards[r] = append(out.Shards[r], shard...)
 			}
 		}
 	} else {
 		for seq := 0; seq < a.total; seq++ {
-			out.records = append(out.records, a.flat[seq]...)
+			out.Records = append(out.Records, a.flat[seq]...)
 		}
 	}
-	dup := w.installLocked(req.ShuffleID, req.MapPart, out)
 	w.mu.Unlock()
-	if dup {
-		w.cluster.counter("push_duplicates_total", nil).Inc()
-	}
-	return nil
+	return w.install(req.ShuffleID, req.MapPart, out)
 }
 
 // abortAssembly discards a partial assembly after a broken or failed
@@ -423,19 +419,18 @@ func (w *worker) abortAssembly(req *request) {
 	w.mu.Unlock()
 }
 
-// installLocked stores out under (shuffle, mapPart), last-write-wins by
-// attempt: an older attempt never clobbers a newer one. Reports whether an
-// output already existed (a duplicate push). Callers hold w.mu.
-func (w *worker) installLocked(shuffleID, mapPart int, out *storedOutput) (dup bool) {
-	key := outKey{shuffleID, mapPart}
-	if old := w.mapOut[key]; old != nil {
-		if old.attempt > out.attempt {
-			return true // stale retried push; keep the newer output
-		}
-		dup = true
+// install stores out under (shuffle, mapPart) in the worker's block
+// store, which keeps duplicate pushes idempotent (last-write-wins by
+// attempt) and may spill cold outputs under a memory budget.
+func (w *worker) install(shuffleID, mapPart int, out blockstore.Output) error {
+	_, dup, err := w.store.Put(blockstore.Key{Shuffle: shuffleID, MapPart: mapPart}, out)
+	if err != nil {
+		return fmt.Errorf("worker %d: storing shuffle %d map %d: %w", w.id, shuffleID, mapPart, err)
 	}
-	w.mapOut[key] = out
-	return dup
+	if dup {
+		w.cluster.counter("push_duplicates_total", nil).Inc()
+	}
+	return nil
 }
 
 // handleSample serves a key-sample request out of the stored flat records.
@@ -469,66 +464,45 @@ func (w *worker) streamFetch(enc *gob.Encoder, req *request) error {
 
 // storeMapOutput stores a locally produced map output (fetch mode), run
 // through the same bucketing and idempotency path as pushed outputs.
-func (w *worker) storeMapOutput(shuffleID, mapPart, attempt int, records []rdd.Pair) {
-	out := &storedOutput{attempt: attempt}
+func (w *worker) storeMapOutput(shuffleID, mapPart, attempt int, records []rdd.Pair) error {
+	out := blockstore.Output{Attempt: attempt}
 	if spec := w.spec(shuffleID); spec != nil && spec.Partitioner.Ready() {
-		out.shards = rdd.BucketRecords(spec, records)
+		out.Shards = rdd.BucketRecords(spec, records)
 	} else {
-		out.records = records
+		out.Records = records
 	}
-	w.mu.Lock()
-	dup := w.installLocked(shuffleID, mapPart, out)
-	w.mu.Unlock()
-	if dup {
-		w.cluster.counter("push_duplicates_total", nil).Inc()
-	}
+	return w.install(shuffleID, mapPart, out)
 }
 
-func (w *worker) clearOutputs() {
+// resetRun clears the previous job's stored outputs and any in-flight
+// push assemblies (shuffle IDs are graph-scoped, so leftovers could
+// collide with the next job's).
+func (w *worker) resetRun() {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.mapOut = make(map[outKey]*storedOutput)
 	w.pending = make(map[pushKey]*pushAssembly)
+	w.mu.Unlock()
+	_ = w.store.Reset()
 }
 
-func (w *worker) storedOutputs() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return len(w.mapOut)
-}
+func (w *worker) storedOutputs() int { return w.store.Len() }
 
 // stored returns a map output's flat records for sampling. Sampling runs
 // at the map barrier, before range partitioners are prepared, so sampled
 // outputs are still flat; bucketed outputs flatten in shard order.
 func (w *worker) stored(shuffleID, mapPart int) ([]rdd.Pair, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	out, ok := w.mapOut[outKey{shuffleID, mapPart}]
-	if !ok {
+	recs, err := w.store.Get(blockstore.Key{Shuffle: shuffleID, MapPart: mapPart})
+	if errors.Is(err, blockstore.ErrNotFound) {
 		return nil, fmt.Errorf("worker %d: no output for shuffle %d map %d", w.id, shuffleID, mapPart)
 	}
-	if out.records != nil || out.shards == nil {
-		return out.records, nil
-	}
-	var flat []rdd.Pair
-	for _, shard := range out.shards {
-		flat = append(flat, shard...)
-	}
-	return flat, nil
+	return recs, err
 }
 
-// shardOf returns one reduce shard of a stored output: an O(1) per-reduce
-// lookup once the output is bucketed. Flat outputs (range-partitioned
-// shuffles stored before the barrier) are bucketed exactly once, on the
-// first fetch — never re-bucketed per fetch.
-func (w *worker) shardOf(shuffleID, mapPart, reduce int) ([]rdd.Pair, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	out, ok := w.mapOut[outKey{shuffleID, mapPart}]
-	if !ok {
-		return nil, fmt.Errorf("worker %d: no output for shuffle %d map %d", w.id, shuffleID, mapPart)
-	}
-	if out.shards == nil {
+// bucketFn builds the store's BucketFunc for one shuffle: resolve the
+// spec, require a ready partitioner, and count the deferred whole-output
+// bucketing pass. The store invokes it at most once per output (the
+// exactly-once half of incremental bucketing).
+func (w *worker) bucketFn(shuffleID int) blockstore.BucketFunc {
+	return func(records []rdd.Pair) ([][]rdd.Pair, error) {
 		spec := w.spec(shuffleID)
 		if spec == nil {
 			return nil, fmt.Errorf("worker %d: unknown shuffle %d", w.id, shuffleID)
@@ -536,15 +510,29 @@ func (w *worker) shardOf(shuffleID, mapPart, reduce int) ([]rdd.Pair, error) {
 		if !spec.Partitioner.Ready() {
 			return nil, fmt.Errorf("worker %d: shuffle %d partitioner not ready", w.id, shuffleID)
 		}
-		out.shards = rdd.BucketRecords(spec, out.records)
-		out.records = nil
 		w.bucketBuilds.Add(1)
 		w.cluster.counter("bucket_builds_total", nil).Inc()
+		return rdd.BucketRecords(spec, records), nil
 	}
-	if reduce < 0 || reduce >= len(out.shards) {
+}
+
+// shardOf returns one reduce shard of a stored output: an O(1) per-reduce
+// lookup once the output is bucketed. Flat outputs (range-partitioned
+// shuffles stored before the barrier) are bucketed exactly once, on the
+// first fetch — never re-bucketed per fetch. Spilled outputs reload from
+// disk transparently inside the store.
+func (w *worker) shardOf(shuffleID, mapPart, reduce int) ([]rdd.Pair, error) {
+	shards, err := w.store.Shards(blockstore.Key{Shuffle: shuffleID, MapPart: mapPart}, w.bucketFn(shuffleID))
+	if errors.Is(err, blockstore.ErrNotFound) {
+		return nil, fmt.Errorf("worker %d: no output for shuffle %d map %d", w.id, shuffleID, mapPart)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if reduce < 0 || reduce >= len(shards) {
 		return nil, fmt.Errorf("worker %d: reduce %d out of range", w.id, reduce)
 	}
-	return out.shards[reduce], nil
+	return shards[reduce], nil
 }
 
 // sink returns where this worker's data-plane accounting goes: its

@@ -73,8 +73,31 @@ type Report struct {
 	// BytesRaw is the uncompressed-equivalent payload total: BytesTotal
 	// plus whatever chunk compression saved on the wire. Zero on backends
 	// without wire compression (the simulator).
-	BytesRaw float64       `json:"bytes_raw,omitempty"`
-	Metrics  []MetricPoint `json:"metrics,omitempty"`
+	BytesRaw float64 `json:"bytes_raw,omitempty"`
+	// Storage describes the shuffle block store after the run: resident
+	// and spilled occupancy plus cumulative spill/reload activity, summed
+	// across workers. Nil on backends without a block store (the
+	// simulator models bytes, it does not hold them).
+	Storage *StorageStats `json:"storage,omitempty"`
+	Metrics []MetricPoint `json:"metrics,omitempty"`
+}
+
+// StorageStats is the run report's block-store section. Bytes are
+// estimated record sizes (the same estimator that drives aggregator
+// selection), not file sizes.
+type StorageStats struct {
+	// ResidentBytes / ResidentOutputs describe what is held in memory.
+	ResidentBytes   float64 `json:"resident_bytes"`
+	ResidentOutputs int     `json:"resident_outputs"`
+	// SpilledBytes / SpilledOutputs describe what sits on disk right now.
+	SpilledBytes   float64 `json:"spilled_bytes"`
+	SpilledOutputs int     `json:"spilled_outputs"`
+	// SpilledBytesTotal / SpillEvents / ReloadBytesTotal accumulate over
+	// the run: every output written to a spill file, and every spilled
+	// output read back for a fetch or sample.
+	SpilledBytesTotal float64 `json:"spilled_bytes_total"`
+	SpillEvents       int64   `json:"spill_events"`
+	ReloadBytesTotal  float64 `json:"reload_bytes_total"`
 }
 
 // WriteJSON writes the report as indented JSON.

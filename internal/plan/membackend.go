@@ -4,19 +4,19 @@ import (
 	"fmt"
 	"sync"
 
+	"wanshuffle/internal/blockstore"
 	"wanshuffle/internal/dag"
 	"wanshuffle/internal/obs"
 	"wanshuffle/internal/rdd"
 	"wanshuffle/internal/topology"
 )
 
-// memOutput is one map task's prepared output held at a site. shards
-// caches the per-reduce bucketing so repeated reads are O(1) lookups, the
-// in-memory mirror of the live cluster's incremental bucketing; attempt
-// keeps duplicate outputs from retried tasks idempotent.
-type memOutput struct {
-	records []rdd.Pair
-	shards  [][]rdd.Pair
+// outMeta is the placement metadata of one map output: which site holds
+// it and how big it measured. The records themselves live in the
+// backend's block store — the same storage code path the live cluster's
+// workers use, so bucketing caches and attempt idempotency are not
+// reimplemented here.
+type outMeta struct {
 	bytes   float64
 	site    int
 	attempt int
@@ -34,15 +34,30 @@ type MemBackend struct {
 	// spans).
 	Events *obs.Collector
 
-	mu      sync.Mutex
-	outputs map[int][]memOutput // shuffle ID -> per-map-part output
-	spans   []StageSpan
+	// store holds the prepared map outputs; it locks internally. b.mu only
+	// guards the placement metadata and stage spans.
+	store blockstore.Store
+
+	mu    sync.Mutex
+	meta  map[int][]outMeta // shuffle ID -> per-map-part placement
+	spans []StageSpan
 }
 
-// NewMemBackend creates a backend with the given number of sites.
+// NewMemBackend creates a backend with the given number of sites, storing
+// shuffle blocks fully resident.
 func NewMemBackend(sites int) *MemBackend {
-	return &MemBackend{Sites: sites, Events: obs.NewCollector(), outputs: map[int][]memOutput{}}
+	return NewMemBackendWithStore(sites, blockstore.NewMemStore(nil))
 }
+
+// NewMemBackendWithStore creates a backend over an explicit block store —
+// e.g. a blockstore.SpillStore, to exercise the driver against spill-prone
+// storage without a network.
+func NewMemBackendWithStore(sites int, store blockstore.Store) *MemBackend {
+	return &MemBackend{Sites: sites, Events: obs.NewCollector(), store: store, meta: map[int][]outMeta{}}
+}
+
+// Store returns the backend's block store.
+func (b *MemBackend) Store() blockstore.Store { return b.store }
 
 // NumSites implements Backend.
 func (b *MemBackend) NumSites() int { return b.Sites }
@@ -61,7 +76,7 @@ func (b *MemBackend) Spans() []StageSpan {
 func (b *MemBackend) HolderSites(shuffleID int) []int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	outs := b.outputs[shuffleID]
+	outs := b.meta[shuffleID]
 	sites := make([]int, len(outs))
 	for i, o := range outs {
 		sites[i] = o.site
@@ -82,7 +97,7 @@ func (b *MemBackend) InputSizes(st *dag.Stage) []float64 {
 	defer b.mu.Unlock()
 	for _, bd := range st.Boundaries {
 		for di := range bd.Deps {
-			for _, out := range b.outputs[bd.Deps[di].Shuffle.ID] {
+			for _, out := range b.meta[bd.Deps[di].Shuffle.ID] {
 				bySite[out.site] += out.bytes
 			}
 		}
@@ -102,17 +117,26 @@ func (b *MemBackend) RunMapTask(st *dag.Stage, part, site, aggTo, attempt int) e
 	if aggTo >= 0 {
 		holder = aggTo
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	outs := b.outputs[st.OutSpec.ID]
-	if outs == nil {
-		outs = make([]memOutput, st.NumTasks)
-		b.outputs[st.OutSpec.ID] = outs
+	stored, _, err := b.store.Put(
+		blockstore.Key{Shuffle: st.OutSpec.ID, MapPart: part},
+		blockstore.Output{Attempt: attempt, Records: prepared})
+	if err != nil {
+		return err
 	}
-	if outs[part].done && outs[part].attempt > attempt {
+	if !stored {
 		return nil // a newer attempt already landed; keep its output
 	}
-	outs[part] = memOutput{records: prepared, bytes: rdd.SizeOfAll(prepared), site: holder, attempt: attempt, done: true}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	outs := b.meta[st.OutSpec.ID]
+	if outs == nil {
+		outs = make([]outMeta, st.NumTasks)
+		b.meta[st.OutSpec.ID] = outs
+	}
+	if outs[part].done && outs[part].attempt > attempt {
+		return nil
+	}
+	outs[part] = outMeta{bytes: rdd.SizeOfAll(prepared), site: holder, attempt: attempt, done: true}
 	return nil
 }
 
@@ -129,10 +153,15 @@ func (b *MemBackend) Barrier(st *dag.Stage) error {
 		return nil
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	numMaps := len(b.meta[spec.ID])
+	b.mu.Unlock()
 	var sample []string
-	for _, out := range b.outputs[spec.ID] {
-		sample = append(sample, rdd.SampleKeys(out.records, 1000)...)
+	for part := 0; part < numMaps; part++ {
+		recs, err := b.store.Get(blockstore.Key{Shuffle: spec.ID, MapPart: part})
+		if err != nil {
+			return fmt.Errorf("plan: sampling shuffle %d map %d: %w", spec.ID, part, err)
+		}
+		sample = append(sample, rdd.SampleKeys(recs, 1000)...)
 	}
 	spec.Partitioner.(*rdd.RangePartitioner).Prepare(sample)
 	return nil
@@ -150,21 +179,29 @@ func (b *MemBackend) OnStage(span StageSpan) {
 }
 
 // read gathers one reduce partition's shard from every map output, in map
-// order. Each output is bucketed at most once (cached in memOutput.shards),
-// so reading R reduce partitions does not re-bucket the output R times.
+// order. The store buckets each output at most once (on its first shard
+// read), so reading R reduce partitions does not re-bucket the output R
+// times — the same exactly-once semantics the live workers rely on.
 func (b *MemBackend) read(spec *rdd.ShuffleSpec, reducePart int) ([]rdd.Pair, error) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	outs := b.outputs[spec.ID]
+	outs := append([]outMeta(nil), b.meta[spec.ID]...)
+	b.mu.Unlock()
+	bucket := func(recs []rdd.Pair) ([][]rdd.Pair, error) {
+		return rdd.BucketRecords(spec, recs), nil
+	}
 	var recs []rdd.Pair
 	for part := range outs {
 		if !outs[part].done {
 			return nil, fmt.Errorf("plan: shuffle %d map output %d missing", spec.ID, part)
 		}
-		if outs[part].shards == nil {
-			outs[part].shards = rdd.BucketRecords(spec, outs[part].records)
+		shards, err := b.store.Shards(blockstore.Key{Shuffle: spec.ID, MapPart: part}, bucket)
+		if err != nil {
+			return nil, err
 		}
-		recs = append(recs, outs[part].shards[reducePart]...)
+		if reducePart < 0 || reducePart >= len(shards) {
+			return nil, fmt.Errorf("plan: shuffle %d reduce %d out of range", spec.ID, reducePart)
+		}
+		recs = append(recs, shards[reducePart]...)
 	}
 	return recs, nil
 }
