@@ -28,17 +28,20 @@
 //
 //	-telemetry-addr    serve GET /metrics (Prometheus text), /report
 //	                   (point-in-time run-report JSON), /events (NDJSON
-//	                   task-lifecycle stream) and /debug/pprof/ on this
-//	                   address (e.g. 127.0.0.1:9090). Empty disables.
+//	                   task-lifecycle stream), /trace (NDJSON causal trace
+//	                   spans: mid-run for -live, post-run for sim) and
+//	                   /debug/pprof/ on this address (e.g. 127.0.0.1:9090).
+//	                   Empty disables.
 //	-telemetry-linger  keep the endpoint up this long after the run, so
 //	                   scrapers can read the final state
 //	-progress          print a live progress line (stages/tasks/bytes) to
 //	                   stderr while the run executes
 //	-log-level         structured log level: debug | info | warn | error |
 //	                   off (default warn), written to stderr
-//	-heartbeat         -live worker→driver heartbeat interval (0 = 50ms
-//	                   default, negative disables)
-//	-stale-after       -live heartbeat staleness threshold (0 = 1s)
+//	-heartbeat         -live worker→driver heartbeat interval (must be
+//	                   positive when set; unset = 50ms default)
+//	-stale-after       -live heartbeat staleness threshold (must be
+//	                   positive and exceed -heartbeat when set; unset = 1s)
 //
 // Wire protocol (-live data plane):
 //
@@ -117,8 +120,8 @@ func run(args []string, stdout io.Writer) error {
 	linger := fs.Duration("telemetry-linger", 0, "keep the telemetry endpoint up this long after the run completes")
 	progress := fs.Bool("progress", false, "print a live progress line to stderr during the run")
 	logLevel := fs.String("log-level", "warn", "structured log level: debug | info | warn | error | off")
-	heartbeat := fs.Duration("heartbeat", 0, "-live worker heartbeat interval (0 = 50ms default, negative disables)")
-	staleAfter := fs.Duration("stale-after", 0, "-live heartbeat staleness threshold (0 = 1s)")
+	heartbeat := fs.Duration("heartbeat", 0, "-live worker heartbeat interval (must be positive when set; unset = 50ms default)")
+	staleAfter := fs.Duration("stale-after", 0, "-live heartbeat staleness threshold (must be positive and exceed -heartbeat when set; unset = 1s)")
 	compress := fs.String("compress", "", "-live per-chunk compression codec: none | gzip | flate")
 	chunkRecords := fs.Int("chunk-records", 256, "-live records per chunk frame (must be positive)")
 	pushFanout := fs.Int("push-fanout", 2, "-live parallel chunk streams per push (must be positive; 1 = serial)")
@@ -141,6 +144,35 @@ func run(args []string, stdout io.Writer) error {
 	budgetBytes, err := parseMemoryBudget(*memoryBudget)
 	if err != nil {
 		return err
+	}
+	// Heartbeat plane validation: an explicitly non-positive interval or
+	// staleness threshold is a typo, not a request (zero means "default" only
+	// when the flag is left unset), and a staleness bound at or below the
+	// beat interval would declare every worker dead between beats.
+	hbSet, saSet := false, false
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "heartbeat":
+			hbSet = true
+		case "stale-after":
+			saSet = true
+		}
+	})
+	if hbSet && *heartbeat <= 0 {
+		return fmt.Errorf("-heartbeat must be positive, got %v", *heartbeat)
+	}
+	if saSet && *staleAfter <= 0 {
+		return fmt.Errorf("-stale-after must be positive, got %v", *staleAfter)
+	}
+	effHeartbeat, effStale := *heartbeat, *staleAfter
+	if effHeartbeat == 0 {
+		effHeartbeat = 50 * time.Millisecond
+	}
+	if effStale == 0 {
+		effStale = time.Second
+	}
+	if effStale <= effHeartbeat {
+		return fmt.Errorf("-stale-after (%v) must exceed -heartbeat (%v): workers would look dead between beats", effStale, effHeartbeat)
 	}
 
 	w, err := workloads.ByName(*workload)
@@ -189,8 +221,11 @@ func run(args []string, stdout io.Writer) error {
 	// Telemetry plane: until the run finishes, /report serves an
 	// in-progress snapshot built from the engine's event collector; the
 	// final report object then takes over — the same object -report writes,
-	// so file and endpoint are byte-identical.
+	// so file and endpoint are byte-identical. /trace serves spans only
+	// once the run completes: the simulator's recorder is single-threaded
+	// with its event loop, so mid-run reads would race.
 	var finalRep atomic.Pointer[obs.Report]
+	var finalSpans atomic.Pointer[[]trace.Span]
 	events := ctx.Engine().Events
 	tel, err := startTelemetry(obsOpts, stdout, telemetry.Config{
 		Registry: func() *obs.Registry { return events.Registry() },
@@ -201,6 +236,12 @@ func run(args []string, stdout io.Writer) error {
 			return obs.InProgressReport("sim", w.Name, sch.String(), events)
 		},
 		Events: func() *obs.Collector { return events },
+		Trace: func() []trace.Span {
+			if sp := finalSpans.Load(); sp != nil {
+				return *sp
+			}
+			return nil
+		},
 		Logger: logger,
 	})
 	if err != nil {
@@ -224,6 +265,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 	runRep := rep.RunReport(w.Name)
 	finalRep.Store(runRep)
+	spans := trace.EnforceCausality(rep.Spans())
+	finalSpans.Store(&spans)
 
 	fmt.Fprintf(stdout, "%s under %v (seed %d, scale %.2f)\n", w.Name, sch, *seed, *scale)
 	fmt.Fprintf(stdout, "  job completion time: %.1f s\n", rep.JCT)
@@ -237,6 +280,9 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "    %-12s %8.0f MB\n", tag, rep.CrossDCByTag[tag]/1e6)
 	}
 	fmt.Fprintf(stdout, "  task attempts:       %d\n", rep.TaskAttempts)
+	if cp := runRep.CriticalPath; cp != nil {
+		fmt.Fprintf(stdout, "  %s\n", cp.Summary())
+	}
 	fmt.Fprintln(stdout, "  stages:")
 	for _, st := range rep.Stages {
 		fmt.Fprintf(stdout, "    %-34s %7.1f -> %7.1f (%6.1f s)\n", st.Name, st.Start, st.End, st.End-st.Start)
@@ -318,7 +364,7 @@ func startTelemetry(opts obsOptions, stdout io.Writer, cfg telemetry.Config) (*t
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(stdout, "telemetry: serving at %s (GET /metrics /report /events /debug/pprof/)\n", tel.URL())
+	fmt.Fprintf(stdout, "telemetry: serving at %s (GET /metrics /report /events /trace /debug/pprof/)\n", tel.URL())
 	return tel, nil
 }
 
@@ -474,6 +520,15 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOp
 			}
 			return nil
 		},
+		// Mid-run /trace reads the driver's recorder directly: it fills
+		// continuously from driver-side spans and heartbeat-merged worker
+		// spans, already rebased onto the run clock.
+		Trace: func() []trace.Span {
+			if tracer == nil {
+				return nil
+			}
+			return tracer.Spans()
+		},
 		Logger: opts.obs.logger,
 	})
 	if err != nil {
@@ -518,6 +573,9 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOp
 	}
 	fmt.Fprintf(stdout, "  pushes/fetches:   %d/%d (%d samples, %d dials, %d retries)\n",
 		stats.PushConnections, stats.FetchConnections, stats.SampleRequests, stats.Dials, stats.Retries)
+	if cp := runRep.CriticalPath; cp != nil {
+		fmt.Fprintf(stdout, "  %s\n", cp.Summary())
+	}
 	if st := stats.Storage(); st.SpillEvents > 0 {
 		fmt.Fprintf(stdout, "  block store:      %d spills (%d bytes to disk, %d reloaded), %d bytes resident\n",
 			st.SpillEvents, st.SpilledBytesTotal, st.ReloadBytesTotal, st.ResidentBytes)

@@ -124,6 +124,13 @@ func TestFlagValidation(t *testing.T) {
 		{"zero memory budget", []string{"-memory-budget", "0"}, "-memory-budget must be positive"},
 		{"negative memory budget", []string{"-memory-budget", "-64KB"}, "-memory-budget must be positive"},
 		{"garbage memory budget", []string{"-memory-budget", "lots"}, "cannot parse"},
+		{"zero heartbeat", []string{"-heartbeat", "0s"}, "-heartbeat must be positive"},
+		{"negative heartbeat", []string{"-heartbeat", "-50ms"}, "-heartbeat must be positive"},
+		{"zero stale-after", []string{"-stale-after", "0s"}, "-stale-after must be positive"},
+		{"negative stale-after", []string{"-stale-after", "-1s"}, "-stale-after must be positive"},
+		{"stale-after equals heartbeat", []string{"-heartbeat", "100ms", "-stale-after", "100ms"}, "must exceed"},
+		{"stale-after below heartbeat", []string{"-heartbeat", "2s", "-stale-after", "1s"}, "must exceed"},
+		{"stale-after below default heartbeat", []string{"-stale-after", "10ms"}, "must exceed"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			args := append([]string{"-workload", "wordcount", "-scale", "0.01"}, tc.args...)

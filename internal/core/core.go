@@ -308,6 +308,7 @@ func (r *Report) RunReport(workload string) *obs.Report {
 		TaskAttempts:   r.TaskAttempts,
 		Retries:        r.Retries,
 		BytesTotal:     r.CrossDCBytes,
+		CriticalPath:   trace.AnalyzeCriticalPath(trace.EnforceCausality(r.Spans()), r.topo),
 		Metrics:        r.events.Registry().Snapshot(),
 	}
 }

@@ -177,6 +177,11 @@ type Engine struct {
 	failRNG  sim.RNG
 	aggRNG   sim.RNG
 
+	// ids allocates span IDs for the causal trace; participant 0 counts
+	// 1, 2, 3, … in event order, so traces stay deterministic per seed.
+	ids     *trace.IDAllocator
+	traceID trace.TraceID
+
 	cache map[int][]*cachedPart // RDD ID → per-partition cached copies
 
 	// Fractional-byte remainders per traffic class, carrying the sub-byte
@@ -227,6 +232,8 @@ func New(topo *topology.Topology, seed int64, cfg Config) *Engine {
 		deadHosts:  make([]bool, topo.NumHosts()),
 		producers:  make(map[int]*stageState),
 		recovering: make(map[recoveryKey]bool),
+		ids:        trace.NewIDAllocator(0),
+		traceID:    trace.TraceID(fmt.Sprintf("sim-%d", seed)),
 	}
 	e.scheduleHostFailures()
 	// Mirror every delivered byte into the metrics registry, live as the
@@ -638,7 +645,11 @@ func (e *Engine) centralizeInputs(job *jobState, done func()) {
 				e.Clock.After(modeled/e.cfg.DiskBps, func() {
 					part.Host = dst
 					pending--
-					e.trace(trace.Span{Kind: trace.KindInput, Host: dst, Start: start, End: e.Clock.Now(), Label: "centralize"})
+					e.trace(trace.Span{
+						Kind: trace.KindInput, ID: e.ids.Next(), Host: dst,
+						SrcSite: e.siteName(from), DstSite: e.siteName(dst), Bytes: modeled,
+						Start: start, End: e.Clock.Now(), Label: "centralize",
+					})
 					complete()
 				})
 			})
@@ -649,7 +660,15 @@ func (e *Engine) centralizeInputs(job *jobState, done func()) {
 }
 
 func (e *Engine) trace(s trace.Span) {
+	if s.Trace == "" {
+		s.Trace = e.traceID
+	}
 	e.Tracer.Add(s)
+}
+
+// siteName resolves a host's datacenter name for span site attribution.
+func (e *Engine) siteName(h topology.HostID) string {
+	return e.Topo.DCs[e.Topo.DCOf(h)].Name
 }
 
 // noise returns the multiplicative compute-time jitter for one task.

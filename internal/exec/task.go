@@ -187,6 +187,20 @@ type taskRun struct {
 	// push describes the pending transfer into this receiver task.
 	pushFrom  topology.HostID
 	pushBytes float64
+	// spanID is this attempt's own span (allocated lazily); parentSpan is
+	// the span that spawned it (the previous phase's task), and linkSpan
+	// the push-send a receiver attempt installed.
+	spanID     trace.SpanID
+	parentSpan trace.SpanID
+	linkSpan   trace.SpanID
+}
+
+// spanFor lazily allocates an attempt's own span ID.
+func (e *Engine) spanFor(t *taskRun) trace.SpanID {
+	if t.spanID == 0 {
+		t.spanID = e.ids.Next()
+	}
+	return t.spanID
 }
 
 func (t *taskRun) name() string {
@@ -361,8 +375,15 @@ func (e *Engine) runTask(t *taskRun, host topology.HostID, release func()) {
 func (e *Engine) receiveThenCompute(t *taskRun, host topology.HostID, release func(), start float64) {
 	from := t.pushFrom
 	pushStart := e.Clock.Now()
+	pushID := e.ids.Next()
+	t.linkSpan = pushID // the receiver's compute span consumed this send
 	e.Net.StartFlow(from, host, t.pushBytes, TagPush, func() {
-		e.trace(trace.Span{Kind: trace.KindPush, Host: from, Stage: t.ss.st.ID, Part: t.part, Start: pushStart, End: e.Clock.Now()})
+		e.trace(trace.Span{
+			Kind: trace.KindPush, ID: pushID, Parent: t.parentSpan,
+			Host: from, Stage: t.ss.st.ID, Part: t.part,
+			SrcSite: e.siteName(from), DstSite: e.siteName(host), Bytes: t.pushBytes,
+			Start: pushStart, End: e.Clock.Now(),
+		})
 		e.Clock.After(t.pushBytes/e.cfg.DiskBps, func() {
 			e.computePhase(t, host, release, start)
 		})
@@ -408,6 +429,7 @@ func (e *Engine) acquireThenCompute(t *taskRun, host topology.HostID, release fu
 	}
 	var remotes []remote
 	isReduce := false
+	fetchShuffle := 0
 	for _, n := range needs {
 		switch n.kind {
 		case needSource:
@@ -425,6 +447,9 @@ func (e *Engine) acquireThenCompute(t *taskRun, host topology.HostID, release fu
 			isReduce = true
 			for di := range n.node.Deps {
 				spec := n.node.Deps[di].Shuffle
+				if fetchShuffle == 0 {
+					fetchShuffle = spec.ID
+				}
 				for _, sh := range e.reg.Shards(spec.ID, t.part) {
 					if sh.ModeledBytes <= 0 {
 						continue
@@ -451,7 +476,26 @@ func (e *Engine) acquireThenCompute(t *taskRun, host topology.HostID, release fu
 			if isReduce {
 				kind = trace.KindFetch
 			}
-			e.trace(trace.Span{Kind: kind, Host: host, Stage: t.ss.st.ID, Part: t.part, Start: acquireStart, End: e.Clock.Now()})
+			// Attribute the acquire to the heaviest remote source site
+			// (reads from the local site when everything was local).
+			srcBytes := map[topology.HostID]float64{}
+			total := diskBytes
+			for _, r := range remotes {
+				srcBytes[r.from] += r.bytes
+				total += r.bytes
+			}
+			src, srcMax := host, 0.0
+			for h, b := range srcBytes {
+				if b > srcMax || (b == srcMax && h < src) {
+					src, srcMax = h, b
+				}
+			}
+			e.trace(trace.Span{
+				Kind: kind, ID: e.ids.Next(), Parent: e.spanFor(t),
+				Host: host, Stage: t.ss.st.ID, Part: t.part, Shuffle: fetchShuffle,
+				SrcSite: e.siteName(src), DstSite: e.siteName(host), Bytes: total,
+				Start: acquireStart, End: e.Clock.Now(),
+			})
 		}
 		e.computePhase(t, host, release, start)
 	}
@@ -480,6 +524,7 @@ func (e *Engine) computePhase(t *taskRun, host topology.HostID, release func(), 
 		}
 		retry := *t
 		retry.attempt++
+		retry.spanID = 0 // the retry is a fresh span
 		t.ss.job.retries++
 		e.taskEvent(obs.PhaseRetried, &retry, -1, nil)
 		e.submitTask(&retry)
@@ -547,7 +592,7 @@ func (e *Engine) computePhase(t *taskRun, host topology.HostID, release func(), 
 		if spec, fail := e.shouldFail(t); fail {
 			at := dur * spec.AtFrac
 			e.Clock.After(at, func() {
-				e.trace(trace.Span{Kind: trace.KindFail, Host: host, Stage: st.ID, Part: t.part, Start: computeStart, End: e.Clock.Now(), Label: "failed attempt"})
+				e.trace(trace.Span{Kind: trace.KindFail, ID: e.spanFor(t), Parent: t.parentSpan, Host: host, Stage: st.ID, Part: t.part, Start: computeStart, End: e.Clock.Now(), Label: "failed attempt"})
 				release()
 				e.taskEvent(obs.PhaseFailed, t, int(e.Topo.DCOf(host)), fmt.Errorf("injected failure"))
 				if !e.retry.Allow(t.attempt + 1) {
@@ -564,7 +609,18 @@ func (e *Engine) computePhase(t *taskRun, host topology.HostID, release func(), 
 	}
 
 	e.Clock.After(dur, func() {
-		e.trace(trace.Span{Kind: kind, Host: host, Stage: st.ID, Part: t.part, Start: computeStart, End: e.Clock.Now()})
+		sp := trace.Span{
+			Kind: kind, ID: e.spanFor(t), Parent: t.parentSpan, Link: t.linkSpan,
+			Host: host, Stage: st.ID, Part: t.part,
+			Bytes: out.modeled, Records: len(out.records),
+			Start: computeStart, End: e.Clock.Now(),
+		}
+		// The final phase registers the stage's map output; mark the span
+		// as that shuffle's producer so downstream fetches link back.
+		if phase.Transfer == nil && st.OutSpec != nil {
+			sp.Shuffle = st.OutSpec.ID
+		}
+		e.trace(sp)
 		e.postPhase(t, host, out, bound, release, start)
 	})
 }
@@ -609,7 +665,7 @@ func (e *Engine) postPhase(t *taskRun, host topology.HostID, out partData, bound
 		if e.Topo.DCOf(host) == target {
 			// Already in the aggregator datacenter: transferTo is a no-op
 			// (Sec. IV-C2); continue the next phase inline.
-			next := &taskRun{ss: t.ss, phase: t.phase + 1, part: t.part, attempt: t.attempt, bound: nextBound}
+			next := &taskRun{ss: t.ss, phase: t.phase + 1, part: t.part, attempt: t.attempt, bound: nextBound, parentSpan: e.spanFor(t)}
 			e.computePhase(next, host, release, start)
 			return
 		}
@@ -618,6 +674,7 @@ func (e *Engine) postPhase(t *taskRun, host topology.HostID, out partData, bound
 			ss: t.ss, phase: t.phase + 1, part: t.part, attempt: t.attempt,
 			receiver: true, speculative: t.speculative,
 			bound: nextBound, pushFrom: host, pushBytes: out.modeled,
+			parentSpan: e.spanFor(t),
 		}
 		handoff := func() { e.submitTask(next) }
 		if e.cfg.NoPipelining {
@@ -664,7 +721,12 @@ func (e *Engine) postPhase(t *taskRun, host topology.HostID, out partData, bound
 	resStart := e.Clock.Now()
 	e.Clock.After(localWrite, func() {
 		e.Net.StartFlow(host, e.Topo.MasterHost, bytes, TagResult, func() {
-			e.trace(trace.Span{Kind: trace.KindResult, Host: host, Stage: st.ID, Part: t.part, Start: resStart, End: e.Clock.Now()})
+			e.trace(trace.Span{
+				Kind: trace.KindResult, ID: e.ids.Next(), Parent: e.spanFor(t),
+				Host: host, Stage: st.ID, Part: t.part,
+				SrcSite: e.siteName(host), DstSite: e.siteName(e.Topo.MasterHost), Bytes: bytes,
+				Start: resStart, End: e.Clock.Now(),
+			})
 			e.taskEvent(obs.PhaseFinished, t, int(e.Topo.DCOf(host)), nil)
 			release()
 			e.taskDone(t.ss)

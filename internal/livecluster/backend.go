@@ -28,6 +28,9 @@ type liveRun struct {
 	c     *Cluster
 	stats *Stats
 	start time.Time
+	// traceID names the run's causal trace; every span of the job — driver
+	// and worker side — carries it.
+	traceID trace.TraceID
 	// shuffleStage maps shuffle ID → producing stage ID, so server-side
 	// receive spans carry the same stage attribution as the simulator's.
 	shuffleStage map[int]int
@@ -46,8 +49,17 @@ func newLiveRun(c *Cluster, stats *Stats, p *dag.Plan) *liveRun {
 			shuffleStage[st.OutSpec.ID] = st.ID
 		}
 	}
-	return &liveRun{c: c, stats: stats, start: time.Now(), shuffleStage: shuffleStage, holders: map[int][]outMeta{}}
+	start := time.Now()
+	return &liveRun{
+		c: c, stats: stats, start: start,
+		traceID:      trace.TraceID(fmt.Sprintf("live-%d", start.UnixNano())),
+		shuffleStage: shuffleStage, holders: map[int][]outMeta{},
+	}
 }
+
+// base is the run's start on the cluster clock: worker span timestamps are
+// rebased through it (local time + offset − base = run-relative seconds).
+func (r *liveRun) base() float64 { return r.start.Sub(r.c.epoch).Seconds() }
 
 // stageOfShuffle resolves a shuffle ID to the stage that produced it (-1
 // if unknown).
@@ -97,9 +109,10 @@ func (r *liveRun) RunMapTask(st *dag.Stage, part, site, aggTo, attempt int) erro
 	if w.closed.Load() {
 		return fmt.Errorf("livecluster: worker %d is down", site)
 	}
+	taskID := r.c.ids.Next()
 	t0 := r.since()
 	lastFetch := t0
-	recs, err := plan.EvalStagePart(st, part, r.reader(site, st.ID, &lastFetch))
+	recs, err := plan.EvalStagePart(st, part, r.reader(site, st.ID, taskID, &lastFetch))
 	if err != nil {
 		return err
 	}
@@ -112,15 +125,30 @@ func (r *liveRun) RunMapTask(st *dag.Stage, part, site, aggTo, attempt int) erro
 	prepared := rdd.MapSidePrepare(st.OutSpec, recs)
 	// The compute span runs from the last shuffle read (t0 for leaf
 	// stages) until the output is ready; the push is its own span, so the
-	// timeline separates M and P the way the simulator's does.
-	r.span(trace.KindMap, site, st.ID, part, lastFetch)
+	// timeline separates M and P the way the simulator's does. The map
+	// span carries the shuffle it produced, making it a producer edge for
+	// downstream fetch/serve spans in critical-path analysis.
+	r.span(trace.Span{
+		Kind: trace.KindMap, ID: taskID, Host: topology.HostID(site),
+		Stage: st.ID, Part: part, Shuffle: st.OutSpec.ID,
+		Bytes: rdd.SizeOfAll(prepared), Records: len(prepared),
+		Start: lastFetch, End: r.since(),
+	})
 	holder := site
 	if aggTo >= 0 {
 		tPush := r.since()
-		if err := w.push(r.c.workers[aggTo].addr, st.OutSpec.ID, part, attempt, prepared, r.stats); err != nil {
+		pushID := r.c.ids.Next()
+		if err := w.push(r.c.workers[aggTo].addr, st.OutSpec.ID, part, attempt, prepared, r.stats,
+			spanCtx{trace: r.traceID, parent: taskID, span: pushID}); err != nil {
 			return err
 		}
-		r.span(trace.KindPush, site, st.ID, part, tPush)
+		r.span(trace.Span{
+			Kind: trace.KindPush, ID: pushID, Parent: taskID, Host: topology.HostID(site),
+			Stage: st.ID, Part: part, Shuffle: st.OutSpec.ID,
+			SrcSite: r.c.siteLabel(site), DstSite: r.c.siteLabel(aggTo),
+			Bytes: rdd.SizeOfAll(prepared), Records: len(prepared),
+			Start: tPush, End: r.since(),
+		})
 		holder = aggTo
 	} else {
 		// Fetch mode: the output stays at its mapper, landing in the same
@@ -146,13 +174,18 @@ func (r *liveRun) RunResultTask(st *dag.Stage, part, site int) ([]rdd.Pair, erro
 	if r.c.workers[site].closed.Load() {
 		return nil, fmt.Errorf("livecluster: worker %d is down", site)
 	}
+	taskID := r.c.ids.Next()
 	t0 := r.since()
 	lastFetch := t0
-	recs, err := plan.EvalStagePart(st, part, r.reader(site, st.ID, &lastFetch))
+	recs, err := plan.EvalStagePart(st, part, r.reader(site, st.ID, taskID, &lastFetch))
 	if err != nil {
 		return nil, err
 	}
-	r.span(trace.KindReduce, site, st.ID, part, lastFetch)
+	r.span(trace.Span{
+		Kind: trace.KindReduce, ID: taskID, Host: topology.HostID(site),
+		Stage: st.ID, Part: part, Records: len(recs),
+		Start: lastFetch, End: r.since(),
+	})
 	return recs, nil
 }
 
@@ -198,28 +231,48 @@ func (r *liveRun) SiteHealthy(site int) bool { return r.c.workerHealthy(site) }
 // reader builds the ShuffleReader tasks at one worker gather their shuffle
 // input through: every map output's shard is fetched over TCP from its
 // holder (aggregator or mapper), serially in map order so gathered records
-// arrive deterministically. Fetch spans carry the reading stage's ID;
-// lastFetch tracks when the task's final fetch completed, so callers can
-// start the compute span after the transfer window.
-func (r *liveRun) reader(site, stage int, lastFetch *float64) plan.ShuffleReader {
+// arrive deterministically. Fetch spans carry the reading stage's ID and
+// nest under the consuming task (parent); the fetch span's own ID rides
+// the wire so each holder's serve span nests under it. lastFetch tracks
+// when the task's final fetch completed, so callers can start the compute
+// span after the transfer window.
+func (r *liveRun) reader(site, stage int, parent trace.SpanID, lastFetch *float64) plan.ShuffleReader {
 	return func(spec *rdd.ShuffleSpec, reduce int) ([]rdd.Pair, error) {
 		r.mu.Lock()
 		numMaps := len(r.holders[spec.ID])
 		r.mu.Unlock()
 		t0 := r.since()
+		fetchID := r.c.ids.Next()
 		var out []rdd.Pair
+		srcBytes := map[int]float64{}
 		for m := 0; m < numMaps; m++ {
 			om, err := r.holderOf(spec.ID, m)
 			if err != nil {
 				return nil, err
 			}
-			shard, err := r.c.workers[site].fetch(r.c.workers[om.site].addr, spec.ID, m, reduce, r.stats)
+			shard, err := r.c.workers[site].fetch(r.c.workers[om.site].addr, spec.ID, m, reduce, r.stats,
+				spanCtx{trace: r.traceID, parent: fetchID})
 			if err != nil {
 				return nil, err
 			}
+			srcBytes[om.site] += rdd.SizeOfAll(shard)
 			out = append(out, shard...)
 		}
-		r.span(trace.KindFetch, site, stage, reduce, t0)
+		// Attribute the fetch to its dominant source by bytes (ties break
+		// toward the lower worker index, for determinism).
+		src, best := site, -1.0
+		for s, b := range srcBytes {
+			if b > best || (b == best && s < src) {
+				src, best = s, b
+			}
+		}
+		r.span(trace.Span{
+			Kind: trace.KindFetch, ID: fetchID, Parent: parent, Host: topology.HostID(site),
+			Stage: stage, Part: reduce, Shuffle: spec.ID,
+			SrcSite: r.c.siteLabel(src), DstSite: r.c.siteLabel(site),
+			Records: len(out),
+			Start:   t0, End: r.since(),
+		})
 		if end := r.since(); lastFetch != nil && end > *lastFetch {
 			*lastFetch = end
 		}
@@ -239,9 +292,8 @@ func (r *liveRun) holderOf(shuffleID, mapPart int) (outMeta, error) {
 
 func (r *liveRun) since() float64 { return time.Since(r.start).Seconds() }
 
-func (r *liveRun) span(kind trace.Kind, site, stage, part int, t0 float64) {
-	r.c.cfg.Trace.Add(trace.Span{
-		Kind: kind, Host: topology.HostID(site), Stage: stage, Part: part,
-		Start: t0, End: r.since(),
-	})
+// span records one driver-side span, stamping the run's trace ID.
+func (r *liveRun) span(s trace.Span) {
+	s.Trace = r.traceID
+	r.c.cfg.Trace.Add(s)
 }

@@ -57,18 +57,36 @@ type flowDelta struct {
 	Raw      int64 // uncompressed-equivalent bytes
 }
 
-// heartbeat is one worker's telemetry delta since its previous beat.
+// heartbeat is one worker's telemetry delta since its previous beat. It
+// doubles as the clock-sync exchange: T0 carries the worker's local send
+// time and the ack returns the driver's receive/reply times, giving the
+// worker an NTP-style (offset, RTT) sample per beat. The worker's current
+// best offset estimate rides along so the driver can map the beat's span
+// timestamps — stamped on the worker's local clock — onto the run clock.
 type heartbeat struct {
 	Worker                   int
 	Flows                    []flowDelta
 	Pushes, Fetches, Samples int64
 	Dials                    int64
 	Spans                    []trace.Span
+	// T0 is the worker's local clock at send time.
+	T0 float64
+	// Offset and RTT are the worker's current clock-alignment estimate
+	// (driver clock minus worker clock, and the round trip it was measured
+	// over); HasOffset is false until the first completed exchange, when
+	// the driver falls back to a one-way estimate off this beat's T0.
+	Offset, RTT float64
+	HasOffset   bool
 }
 
 // hbAck acknowledges a merged heartbeat; the worker drains its buffer only
-// after the driver confirms, so telemetry survives a failed send.
-type hbAck struct{ OK bool }
+// after the driver confirms, so telemetry survives a failed send. T1 and
+// T2 are the driver's receive and reply timestamps on its cluster clock,
+// completing the four-timestamp clock-sync sample.
+type hbAck struct {
+	OK     bool
+	T1, T2 float64
+}
 
 // workerTel buffers one worker's telemetry between heartbeats.
 type workerTel struct {
@@ -188,8 +206,9 @@ func (c *Cluster) serveHeartbeats() {
 				if err := dec.Decode(&hb); err != nil {
 					return
 				}
-				c.mergeHeartbeat(hb)
-				if err := enc.Encode(hbAck{OK: true}); err != nil {
+				t1 := c.clusterNow()
+				c.mergeHeartbeat(hb, t1)
+				if err := enc.Encode(hbAck{OK: true, T1: t1, T2: c.clusterNow()}); err != nil {
 					return
 				}
 			}
@@ -198,10 +217,17 @@ func (c *Cluster) serveHeartbeats() {
 }
 
 // mergeHeartbeat folds one worker's telemetry delta into the current job's
-// stats (bytes, matrix, class splits, request counters, receive spans) and
-// stamps the worker's liveness clock. Called both from the heartbeat
+// stats (bytes, matrix, class splits, request counters, receive and serve
+// spans) and stamps the worker's liveness clock. t1 is the driver's
+// cluster-clock receive time of the beat. Called both from the heartbeat
 // listener and from the end-of-run flush.
-func (c *Cluster) mergeHeartbeat(hb heartbeat) {
+//
+// Span timestamps in the beat are worker-local; they are rebased onto the
+// run clock through the worker's offset estimate before merging, then any
+// receive that would still precede its recorded push-send (residual
+// estimation error) is clamped forward, so the driver's recorder only ever
+// holds causally ordered spans.
+func (c *Cluster) mergeHeartbeat(hb heartbeat, t1 float64) {
 	if hb.Worker >= 0 && hb.Worker < len(c.lastBeat) {
 		c.lastBeat[hb.Worker].Store(time.Now().UnixNano())
 	}
@@ -209,8 +235,38 @@ func (c *Cluster) mergeHeartbeat(hb heartbeat) {
 	if run == nil {
 		return
 	}
+	if len(hb.Spans) > 0 {
+		offset := hb.Offset
+		if !hb.HasOffset {
+			// No completed sync exchange yet: a one-way estimate off this
+			// beat's own timestamps (ignores the upstream delay).
+			offset = t1 - hb.T0
+		}
+		shift := offset - run.base()
+		for i := range hb.Spans {
+			hb.Spans[i].Start += shift
+			hb.Spans[i].End += shift
+		}
+		for i := range hb.Spans {
+			sp := &hb.Spans[i]
+			if sp.Link == 0 {
+				continue
+			}
+			if send, ok := c.cfg.Trace.Find(sp.Link); ok && sp.Start < send.Start {
+				d := send.Start - sp.Start
+				sp.Start += d
+				sp.End += d
+			}
+		}
+	}
 	run.stats.merge(hb, c.cfg.Trace)
-	run.stats.Events.Registry().Counter("heartbeats_total", obs.Labels{"worker": fmt.Sprintf("w%d", hb.Worker)}).Inc()
+	reg := run.stats.Events.Registry()
+	labels := obs.Labels{"worker": fmt.Sprintf("w%d", hb.Worker)}
+	reg.Counter("heartbeats_total", labels).Inc()
+	if hb.HasOffset {
+		reg.Gauge("clock_offset_sec", labels).Set(hb.Offset)
+		reg.Gauge("clock_rtt_sec", labels).Set(hb.RTT)
+	}
 	c.log.Debug("livecluster: heartbeat merged", "worker", hb.Worker, "flows", len(hb.Flows), "spans", len(hb.Spans))
 }
 
@@ -226,7 +282,8 @@ func (c *Cluster) flushTelemetry() {
 		w.hbMu.Lock()
 		hb := w.tel.drain()
 		hb.Worker = w.id
-		c.mergeHeartbeat(hb)
+		w.stampClock(&hb)
+		c.mergeHeartbeat(hb, c.clusterNow())
 		w.hbMu.Unlock()
 	}
 }
@@ -258,10 +315,21 @@ func (w *worker) sendHeartbeat() {
 	defer w.hbMu.Unlock()
 	hb := w.tel.drain()
 	hb.Worker = w.id
+	w.stampClock(&hb)
 	if err := w.exchangeHeartbeat(hb); err != nil {
 		w.tel.restore(hb)
 		w.dropHBConn()
 	}
+}
+
+// stampClock fills a drained beat's clock-sync fields from the worker's
+// local clock and its current offset estimate. Callers hold hbMu (the
+// ClockSync ring is not otherwise synchronized).
+func (w *worker) stampClock(hb *heartbeat) {
+	hb.T0 = w.localNow()
+	hb.Offset = w.sync.Offset()
+	hb.RTT = w.sync.RTT()
+	hb.HasOffset = w.sync.Samples() > 0
 }
 
 // exchangeHeartbeat runs one beat over the worker's dedicated (uncounted)
@@ -286,6 +354,9 @@ func (w *worker) exchangeHeartbeat(hb heartbeat) error {
 	if !ack.OK {
 		return fmt.Errorf("livecluster: worker %d heartbeat rejected", w.id)
 	}
+	// One completed beat is one NTP-style clock sample: worker send (T0),
+	// driver receive/reply (T1, T2), worker receive (now).
+	w.sync.Observe(hb.T0, ack.T1, ack.T2, w.localNow())
 	return nil
 }
 

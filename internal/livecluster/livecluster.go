@@ -100,6 +100,12 @@ type Config struct {
 	// before SiteHealthy / StaleWorkers report it dead. Zero means 1s.
 	// Only meaningful with heartbeats enabled.
 	StaleAfter time.Duration
+	// ClockSkew injects a fixed offset (seconds, by worker index) into each
+	// worker's local telemetry clock — a test hook for the clock-alignment
+	// path: spans stamped on a skewed worker must still merge into a
+	// causally ordered driver trace once heartbeat offset estimation has
+	// corrected them. Workers beyond the slice get zero skew.
+	ClockSkew []float64
 	// Logger receives structured cluster logs (worker lifecycle,
 	// heartbeat merges, kills) with worker attributes. Nil discards.
 	Logger *slog.Logger
@@ -194,6 +200,14 @@ type Cluster struct {
 	// for telemetry endpoints after Run returns.
 	lastStats atomic.Pointer[Stats]
 	log       *slog.Logger
+	// epoch anchors the driver's monotonic telemetry clock; clusterNow()
+	// reads seconds since it. Worker clocks align to this clock via the
+	// offset estimation piggybacked on heartbeats.
+	epoch time.Time
+	// ids allocates driver-side span IDs (participant 1; each worker i
+	// allocates from participant i+2), so IDs never collide across
+	// processes without coordination.
+	ids *trace.IDAllocator
 
 	// Heartbeat plane: the driver's listener, its accepted connections,
 	// and each worker's last-beat clock (unix nanos).
@@ -252,6 +266,10 @@ type Stats struct {
 	// storage snapshots the cluster's block-store accounting (set by Run;
 	// the stores lock internally, so reading it mid-run is safe).
 	storage func() blockstore.Stats
+
+	// topo names hosts for critical-path attribution (set by Run from the
+	// cluster's single-DC topology; nil for hand-built Stats).
+	topo *topology.Topology
 
 	// mu guards BytesOverTCP, TrafficMatrix, BytesByClass, StageSpans,
 	// CompletionSec, and Retries against concurrent scrapes; the request
@@ -411,6 +429,7 @@ func (s *Stats) RunReport(workload string, tr *trace.SyncRecorder) *obs.Report {
 		Dials:          atomic.LoadInt64(&s.Dials),
 		BytesTotal:     bytesTotal,
 		BytesRaw:       bytesRaw,
+		CriticalPath:   trace.AnalyzeCriticalPath(trace.EnforceCausality(tr.Spans()), s.topo),
 		Storage:        storage,
 		Metrics:        s.Events.Registry().Snapshot(),
 	}
@@ -440,6 +459,8 @@ func New(cfg Config) (*Cluster, error) {
 		log:       obs.LoggerOr(cfg.Logger),
 		hbConns:   make(map[net.Conn]bool),
 		lastBeat:  make([]atomic.Int64, cfg.Workers),
+		epoch:     time.Now(),
+		ids:       trace.NewIDAllocator(1),
 	}
 	c.pool.dialTimeout = cfg.DialTimeout
 	c.pool.ioTimeout = cfg.IOTimeout
@@ -529,6 +550,20 @@ func (c *Cluster) StorageStats() blockstore.Stats {
 // driverSite is the traffic-matrix index of the driver's connection pool.
 func (c *Cluster) driverSite() int { return len(c.workers) }
 
+// clusterNow reads the driver's telemetry clock: seconds since the
+// cluster's epoch. Heartbeat timestamps and worker clock offsets are all
+// expressed against it.
+func (c *Cluster) clusterNow() float64 { return time.Since(c.epoch).Seconds() }
+
+// siteLabel names a traffic-matrix site for span attribution, matching
+// Stats.MatrixLabels ("w0".."wN-1", then "driver").
+func (c *Cluster) siteLabel(i int) string {
+	if i == len(c.workers) {
+		return "driver"
+	}
+	return fmt.Sprintf("w%d", i)
+}
+
 // CurrentStats returns the stats of the job currently running, falling
 // back to the last completed job's (nil before any job). Telemetry
 // endpoints read mid-run state through it.
@@ -616,6 +651,7 @@ func (c *Cluster) Run(target *rdd.RDD) ([]rdd.Pair, *Stats, error) {
 		BytesByClass:         map[string]int64{},
 		Events:               obs.NewCollector(),
 		storage:              c.StorageStats,
+		topo:                 c.Topology(),
 	}
 	run := newLiveRun(c, stats, job.Plan)
 	c.curRun.Store(run)

@@ -141,12 +141,12 @@ func TestChunkedPushFetchRoundTrip(t *testing.T) {
 			}, reduces)
 			in := pairs(tc.records)
 			w0, w1 := c.workers[0], c.workers[1]
-			if err := w0.push(w1.addr, 7, 0, 1, in, stats); err != nil {
+			if err := w0.push(w1.addr, 7, 0, 1, in, stats, spanCtx{}); err != nil {
 				t.Fatal(err)
 			}
 			var out []rdd.Pair
 			for r := 0; r < reduces; r++ {
-				shard, err := w0.fetch(w1.addr, 7, 0, r, stats)
+				shard, err := w0.fetch(w1.addr, 7, 0, r, stats, spanCtx{})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -181,12 +181,12 @@ func TestIncrementalBucketingAvoidsRebuilds(t *testing.T) {
 	const reduces = 4
 	c, stats := streamCluster(t, Config{Workers: 2, ChunkRecords: 8}, reduces)
 	w0, w1 := c.workers[0], c.workers[1]
-	if err := w0.push(w1.addr, 7, 0, 1, pairs(100), stats); err != nil {
+	if err := w0.push(w1.addr, 7, 0, 1, pairs(100), stats, spanCtx{}); err != nil {
 		t.Fatal(err)
 	}
 	for r := 0; r < reduces; r++ {
 		for i := 0; i < 3; i++ { // repeated fetches of the same shard
-			if _, err := w0.fetch(w1.addr, 7, 0, r, stats); err != nil {
+			if _, err := w0.fetch(w1.addr, 7, 0, r, stats, spanCtx{}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -207,11 +207,11 @@ func TestDeferredBucketingBucketsExactlyOnce(t *testing.T) {
 	c.specs.Store(9, &rdd.ShuffleSpec{ID: 9, Partitioner: rp, SampleForRange: true})
 	w0, w1 := c.workers[0], c.workers[1]
 	in := pairs(60)
-	if err := w0.push(w1.addr, 9, 0, 1, in, stats); err != nil {
+	if err := w0.push(w1.addr, 9, 0, 1, in, stats, spanCtx{}); err != nil {
 		t.Fatal(err)
 	}
 	// Not ready yet: fetching must fail rather than bucket garbage.
-	if _, err := w0.fetch(w1.addr, 9, 0, 0, stats); err == nil {
+	if _, err := w0.fetch(w1.addr, 9, 0, 0, stats, spanCtx{}); err == nil {
 		t.Fatal("fetch succeeded before the range partitioner was prepared")
 	}
 	keys, err := c.sampleKeys(w1.addr, 9, 0, 1000, stats)
@@ -222,7 +222,7 @@ func TestDeferredBucketingBucketsExactlyOnce(t *testing.T) {
 	var out []rdd.Pair
 	for r := 0; r < reduces; r++ {
 		for i := 0; i < 3; i++ {
-			shard, err := w0.fetch(w1.addr, 9, 0, r, stats)
+			shard, err := w0.fetch(w1.addr, 9, 0, r, stats, spanCtx{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -250,7 +250,7 @@ func TestDuplicatePushesIdempotent(t *testing.T) {
 	}
 	fetchOne := func() string {
 		t.Helper()
-		out, err := w0.fetch(w1.addr, 7, 0, 0, stats)
+		out, err := w0.fetch(w1.addr, 7, 0, 0, stats, spanCtx{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -260,14 +260,14 @@ func TestDuplicatePushesIdempotent(t *testing.T) {
 		return out[0].Value.(string)
 	}
 	for _, att := range []int{2, 1} { // attempt 1 arrives after attempt 2
-		if err := w0.push(w1.addr, 7, 0, att, byAttempt(att), stats); err != nil {
+		if err := w0.push(w1.addr, 7, 0, att, byAttempt(att), stats, spanCtx{}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if got := fetchOne(); got != "attempt-2" {
 		t.Fatalf("stale attempt overwrote newer output: %q", got)
 	}
-	if err := w0.push(w1.addr, 7, 0, 3, byAttempt(3), stats); err != nil {
+	if err := w0.push(w1.addr, 7, 0, 3, byAttempt(3), stats, spanCtx{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := fetchOne(); got != "attempt-3" {
@@ -285,7 +285,7 @@ func TestDuplicatePushesIdempotent(t *testing.T) {
 func TestStalePooledConnectionRetriedOnce(t *testing.T) {
 	c, stats := streamCluster(t, Config{Workers: 2, ChunkRecords: 4}, 1)
 	w0, w1 := c.workers[0], c.workers[1]
-	if err := w0.push(w1.addr, 7, 0, 1, pairs(6), stats); err != nil {
+	if err := w0.push(w1.addr, 7, 0, 1, pairs(6), stats, spanCtx{}); err != nil {
 		t.Fatal(err)
 	}
 	dialsBefore := stats.Dials
@@ -296,7 +296,7 @@ func TestStalePooledConnectionRetriedOnce(t *testing.T) {
 		_ = conn.Close()
 	}
 	w1.mu.Unlock()
-	out, err := w0.fetch(w1.addr, 7, 0, 0, stats)
+	out, err := w0.fetch(w1.addr, 7, 0, 0, stats, spanCtx{})
 	if err != nil {
 		t.Fatalf("exchange on stale pooled connection not recovered: %v", err)
 	}

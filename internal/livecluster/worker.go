@@ -55,6 +55,24 @@ type request struct {
 	// Chunks is the total data-chunk count of the push across all of its
 	// parallel streams; the receiver installs the output once all arrived.
 	Chunks int
+	// Trace/Parent/Span propagate causal span context across the wire:
+	// Trace is the run's trace ID, Parent the span the server-side span
+	// should nest under (the originating map task for a push, the fetch
+	// span for a fetch), and Span the client-side send span a receive
+	// links back to. From is the sender's site index, for src/dst
+	// attribution on the server-side span.
+	Trace  trace.TraceID
+	Parent trace.SpanID
+	Span   trace.SpanID
+	From   int
+}
+
+// spanCtx is the causal context a client attaches to its data-plane
+// requests, filled in by the driver-side task that issued the operation.
+type spanCtx struct {
+	trace  trace.TraceID
+	parent trace.SpanID // span the server-side span nests under
+	span   trace.SpanID // client-side send span (pushes; receive links to it)
 }
 
 type response struct {
@@ -122,7 +140,21 @@ type worker struct {
 	hbDec  *gob.Decoder
 	stopHB chan struct{}
 	hbWG   sync.WaitGroup
+
+	// Clock plane: each worker stamps its spans on its own local clock
+	// (epoch + injected test skew) and aligns it to the driver through the
+	// ClockSync samples its heartbeats collect. ids namespaces the
+	// worker's span IDs (participant id+2). sync is guarded by hbMu.
+	epoch time.Time
+	skew  float64
+	sync  trace.ClockSync
+	ids   *trace.IDAllocator
 }
+
+// localNow reads the worker's local telemetry clock: seconds since its
+// own epoch, plus any injected test skew. Deliberately NOT the driver's
+// clock — alignment happens driver-side from heartbeat offset estimates.
+func (w *worker) localNow() float64 { return time.Since(w.epoch).Seconds() + w.skew }
 
 func newWorker(id int, c *Cluster) (*worker, error) {
 	ensureGob()
@@ -148,6 +180,11 @@ func newWorker(id int, c *Cluster) (*worker, error) {
 			dialTimeout: c.cfg.DialTimeout,
 			ioTimeout:   c.cfg.IOTimeout,
 		},
+		epoch: time.Now(),
+		ids:   trace.NewIDAllocator(id + 2),
+	}
+	if id < len(c.cfg.ClockSkew) {
+		w.skew = c.cfg.ClockSkew[id]
 	}
 	w.serveWG.Add(1)
 	go w.serve()
@@ -283,11 +320,10 @@ func (w *worker) spec(shuffleID int) *rdd.ShuffleSpec {
 // response for this stream.
 func (w *worker) receivePush(dec *gob.Decoder, req *request) (*response, error) {
 	run := w.cluster.curRun.Load()
-	var t0 float64
-	if run != nil {
-		t0 = run.since()
-	}
+	t0 := w.spanNow(run)
 	var chunkErr error
+	var nrecs int
+	var rawBytes int64
 	for {
 		var ch chunk
 		if err := dec.Decode(&ch); err != nil {
@@ -305,6 +341,8 @@ func (w *worker) receivePush(dec *gob.Decoder, req *request) (*response, error) 
 			chunkErr = err
 			continue
 		}
+		nrecs += len(records)
+		rawBytes += int64(ch.RawLen)
 		if err := w.addPushChunk(req, ch.Seq, records); err != nil {
 			chunkErr = err
 		}
@@ -317,22 +355,47 @@ func (w *worker) receivePush(dec *gob.Decoder, req *request) (*response, error) 
 		return &response{Err: err.Error()}, nil
 	}
 	// Receiver occupancy (the paper's V rows): the aggregator side of a
-	// push, recorded against the running job's clock. With heartbeats
-	// enabled the span is buffered worker-side and reaches the driver's
-	// recorder in the next beat.
+	// push, parented to the originating map task and linked to its send
+	// span, so every chunk send has a matching receive in the causal DAG.
+	// With heartbeats enabled the span is stamped on the worker's local
+	// clock, buffered, and rebased onto the run clock when the next beat
+	// merges driver-side.
 	if run != nil {
-		sp := trace.Span{
+		w.recordSpan(trace.Span{
+			Trace: req.Trace, ID: w.ids.Next(), Parent: req.Parent, Link: req.Span,
 			Kind: trace.KindReceive, Host: topology.HostID(w.id),
 			Stage: run.stageOfShuffle(req.ShuffleID), Part: req.MapPart,
-			Start: t0, End: run.since(),
-		}
-		if w.cluster.hbEnabled() {
-			w.tel.addSpan(sp)
-		} else {
-			w.cluster.cfg.Trace.Add(sp)
-		}
+			Shuffle: req.ShuffleID,
+			SrcSite: w.cluster.siteLabel(req.From), DstSite: w.cluster.siteLabel(w.id),
+			Bytes: float64(rawBytes), Records: nrecs,
+			Start: t0, End: w.spanNow(run),
+		})
 	}
 	return &response{}, nil
+}
+
+// spanNow reads the clock server-side spans are stamped on: the worker's
+// local clock when heartbeats will rebase them, the run clock when the
+// span goes straight to the driver's recorder. Zero without a run.
+func (w *worker) spanNow(run *liveRun) float64 {
+	if run == nil {
+		return 0
+	}
+	if w.cluster.hbEnabled() {
+		return w.localNow()
+	}
+	return run.since()
+}
+
+// recordSpan routes a completed server-side span: buffered for the next
+// heartbeat when the beat plane is on, directly into the driver's recorder
+// otherwise.
+func (w *worker) recordSpan(sp trace.Span) {
+	if w.cluster.hbEnabled() {
+		w.tel.addSpan(sp)
+	} else {
+		w.cluster.cfg.Trace.Add(sp)
+	}
 }
 
 // assemblyFor returns the push assembly for req, creating it on first use.
@@ -444,7 +507,12 @@ func (w *worker) handleSample(req *request) *response {
 
 // streamFetch serves one reduce shard as a chunk stream. Errors travel in
 // the terminal frame; a nil error return means the exchange completed.
+// Clean completions record a serve span — the holder side of a fetch,
+// nested under the requesting fetch span — so critical-path analysis can
+// attribute fetch time to the link it actually crossed.
 func (w *worker) streamFetch(enc *gob.Encoder, req *request) error {
+	run := w.cluster.curRun.Load()
+	t0 := w.spanNow(run)
 	records, err := w.shardOf(req.ShuffleID, req.MapPart, req.Reduce)
 	if err != nil {
 		return enc.Encode(&chunk{Last: true, Err: err.Error()})
@@ -459,7 +527,21 @@ func (w *worker) streamFetch(enc *gob.Encoder, req *request) error {
 			return err
 		}
 	}
-	return enc.Encode(&chunk{Last: true})
+	if err := enc.Encode(&chunk{Last: true}); err != nil {
+		return err
+	}
+	if run != nil {
+		w.recordSpan(trace.Span{
+			Trace: req.Trace, ID: w.ids.Next(), Parent: req.Parent,
+			Kind: trace.KindServe, Host: topology.HostID(w.id),
+			Stage: run.stageOfShuffle(req.ShuffleID), Part: req.MapPart,
+			Shuffle: req.ShuffleID,
+			SrcSite: w.cluster.siteLabel(w.id), DstSite: w.cluster.siteLabel(req.From),
+			Bytes: rdd.SizeOfAll(records), Records: len(records),
+			Start: t0, End: w.spanNow(run),
+		})
+	}
+	return nil
 }
 
 // storeMapOutput stores a locally produced map output (fetch mode), run
@@ -565,7 +647,7 @@ func (w *worker) pushStreams(chunks int) int {
 // The receiver reassembles by sequence number and installs the output
 // atomically once every chunk arrived, so a partially failed push is
 // invisible and safely retried under the same or a later attempt.
-func (w *worker) push(addr string, shuffleID, mapPart, attempt int, records []rdd.Pair, stats *Stats) error {
+func (w *worker) push(addr string, shuffleID, mapPart, attempt int, records []rdd.Pair, stats *Stats, sc spanCtx) error {
 	sink := w.sink(stats)
 	codec := w.cluster.cfg.Compression
 	parts := splitRecords(records, w.cluster.cfg.ChunkRecords)
@@ -590,6 +672,7 @@ func (w *worker) push(addr string, shuffleID, mapPart, attempt int, records []rd
 				if err := pc.enc.Encode(&request{
 					Kind: reqPushChunk, ShuffleID: shuffleID, MapPart: mapPart,
 					Attempt: attempt, Chunks: len(chunks),
+					Trace: sc.trace, Parent: sc.parent, Span: sc.span, From: w.id,
 				}); err != nil {
 					return 0, err
 				}
@@ -627,7 +710,8 @@ func (w *worker) push(addr string, shuffleID, mapPart, attempt int, records []rd
 }
 
 // fetch pulls one (map, reduce) shard from its holder as a chunk stream.
-func (w *worker) fetch(addr string, shuffleID, mapPart, reduce int, stats *Stats) ([]rdd.Pair, error) {
+// sc parents the holder's serve span under the requesting fetch span.
+func (w *worker) fetch(addr string, shuffleID, mapPart, reduce int, stats *Stats, sc spanCtx) ([]rdd.Pair, error) {
 	sink := w.sink(stats)
 	var out []rdd.Pair
 	var nchunks int64
@@ -635,6 +719,7 @@ func (w *worker) fetch(addr string, shuffleID, mapPart, reduce int, stats *Stats
 		out, nchunks = nil, 0 // reset on transparent retry
 		if err := pc.enc.Encode(&request{
 			Kind: reqFetchStream, ShuffleID: shuffleID, MapPart: mapPart, Reduce: reduce,
+			Trace: sc.trace, Parent: sc.parent, From: w.id,
 		}); err != nil {
 			return 0, err
 		}

@@ -74,6 +74,10 @@ type Report struct {
 	// plus whatever chunk compression saved on the wire. Zero on backends
 	// without wire compression (the simulator).
 	BytesRaw float64 `json:"bytes_raw,omitempty"`
+	// CriticalPath is the causally connected span chain that determined
+	// wall-clock, with compute/transfer/wait attribution. Nil when the run
+	// recorded no trace.
+	CriticalPath *trace.CriticalPath `json:"critical_path,omitempty"`
 	// Storage describes the shuffle block store after the run: resident
 	// and spilled occupancy plus cumulative spill/reload activity, summed
 	// across workers. Nil on backends without a block store (the

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"wanshuffle/internal/obs"
+	"wanshuffle/internal/trace"
 )
 
 // Config wires the server's endpoints to a run's observability state.
@@ -32,6 +33,11 @@ type Config struct {
 	Report func() *obs.Report
 	// Events backs GET /events, the NDJSON task-lifecycle stream.
 	Events func() *obs.Collector
+	// Trace backs GET /trace: the run's causal spans so far, one JSON
+	// object per line. The live cluster serves mid-run snapshots from its
+	// heartbeat-fed recorder; the simulator publishes spans once the run
+	// completes (its recorder is single-threaded with the event loop).
+	Trace func() []trace.Span
 	// Logger receives request logs at debug level; nil discards.
 	Logger *slog.Logger
 }
@@ -52,6 +58,7 @@ func Handler(cfg Config) http.Handler {
 			"GET /metrics      Prometheus text exposition of the run's registry\n"+
 			"GET /report       point-in-time wanshuffle/run-report/v1 snapshot (JSON)\n"+
 			"GET /events       task-lifecycle event stream (NDJSON, streams until closed)\n"+
+			"GET /trace        causal trace spans recorded so far (NDJSON)\n"+
 			"GET /debug/pprof/ Go runtime profiles\n")
 	})
 
@@ -95,6 +102,25 @@ func Handler(cfg Config) http.Handler {
 			return
 		}
 		serveEvents(w, r, c, log)
+	})
+
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		var spans []trace.Span
+		if cfg.Trace != nil {
+			spans = cfg.Trace()
+		}
+		if spans == nil {
+			http.Error(w, "no trace spans yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, s := range spans {
+			if err := enc.Encode(s); err != nil {
+				log.Debug("telemetry: /trace write failed", "err", err)
+				return
+			}
+		}
 	})
 
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

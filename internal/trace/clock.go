@@ -1,0 +1,64 @@
+package trace
+
+// ClockSync estimates the offset between a local clock and a reference
+// clock from round-trip timestamp exchanges, NTP-style. Each observation
+// is a four-timestamp sample (t0: request sent, local clock; t1: request
+// received, reference clock; t2: reply sent, reference clock; t3: reply
+// received, local clock) yielding the midpoint offset estimate
+//
+//	θ = ((t1−t0) + (t2−t3)) / 2,   δ = (t3−t0) − (t2−t1)
+//
+// where reference ≈ local + θ and δ bounds the estimate's error at ±δ/2.
+// The estimator keeps a sliding window of recent samples and reports the
+// offset of the lowest-RTT sample in it: low-RTT exchanges have the least
+// queueing asymmetry, and the window slides so a drifting clock is
+// re-estimated rather than pinned to a stale early sample.
+//
+// ClockSync is not goroutine-safe; callers serialize access (the live
+// cluster guards each worker's instance with its heartbeat mutex).
+type ClockSync struct {
+	ring  [8]clockSample
+	next  int
+	count int
+}
+
+type clockSample struct{ offset, rtt float64 }
+
+// Observe folds one timestamp exchange into the window and returns that
+// sample's own offset and RTT (not the windowed best — see Offset/RTT).
+func (c *ClockSync) Observe(t0, t1, t2, t3 float64) (offset, rtt float64) {
+	offset = ((t1 - t0) + (t2 - t3)) / 2
+	rtt = (t3 - t0) - (t2 - t1)
+	if rtt < 0 {
+		rtt = 0
+	}
+	c.ring[c.next] = clockSample{offset, rtt}
+	c.next = (c.next + 1) % len(c.ring)
+	if c.count < len(c.ring) {
+		c.count++
+	}
+	return offset, rtt
+}
+
+// Offset returns the current best offset estimate: reference clock ≈
+// local clock + Offset(). Zero before any observation.
+func (c *ClockSync) Offset() float64 { return c.best().offset }
+
+// RTT returns the round-trip time of the sample backing Offset.
+func (c *ClockSync) RTT() float64 { return c.best().rtt }
+
+// Samples returns how many observations the window currently holds.
+func (c *ClockSync) Samples() int { return c.count }
+
+// best returns the lowest-RTT sample in the window, preferring newer
+// samples on ties so a drifting clock tracks forward.
+func (c *ClockSync) best() clockSample {
+	var out clockSample
+	for i := 0; i < c.count; i++ {
+		s := c.ring[(c.next-c.count+i+len(c.ring))%len(c.ring)] // oldest → newest
+		if i == 0 || s.rtt <= out.rtt {
+			out = s
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// exchange simulates one timestamp round-trip against a reference clock
+// that reads local+offset, with the given one-way delays.
+func exchange(c *ClockSync, localNow, offset, up, down float64) (float64, float64) {
+	t0 := localNow
+	t1 := t0 + up + offset // reference clock at request arrival
+	t2 := t1               // instant turnaround
+	t3 := t0 + up + down   // local clock at reply arrival
+	return c.Observe(t0, t1, t2, t3)
+}
+
+func TestClockSyncSymmetricExact(t *testing.T) {
+	var c ClockSync
+	exchange(&c, 100, 42.5, 0.01, 0.01)
+	if got := c.Offset(); math.Abs(got-42.5) > 1e-9 {
+		t.Fatalf("Offset = %v, want 42.5", got)
+	}
+	if got := c.RTT(); math.Abs(got-0.02) > 1e-9 {
+		t.Fatalf("RTT = %v, want 0.02", got)
+	}
+	if c.Samples() != 1 {
+		t.Fatalf("Samples = %d", c.Samples())
+	}
+}
+
+// TestClockSyncAsymmetricRTTBounded: with asymmetric one-way delays the
+// midpoint estimate is off by the asymmetry — but never by more than
+// half the RTT, the estimator's documented error bound.
+func TestClockSyncAsymmetricRTTBounded(t *testing.T) {
+	const offset = -7.25
+	for _, tc := range []struct{ up, down float64 }{
+		{0.09, 0.01}, {0.01, 0.09}, {0.05, 0.05}, {0.2, 0.0},
+	} {
+		var c ClockSync
+		_, rtt := exchange(&c, 50, offset, tc.up, tc.down)
+		err := math.Abs(c.Offset() - offset)
+		if err > rtt/2+1e-9 {
+			t.Fatalf("up=%v down=%v: error %v exceeds rtt/2 = %v", tc.up, tc.down, err, rtt/2)
+		}
+	}
+}
+
+// TestClockSyncPrefersLowRTT: a noisy high-RTT sample must not displace a
+// clean low-RTT one inside the window.
+func TestClockSyncPrefersLowRTT(t *testing.T) {
+	var c ClockSync
+	exchange(&c, 10, 3.0, 0.005, 0.005) // clean: rtt 0.01, exact offset
+	exchange(&c, 11, 3.0, 0.5, 0.02)    // congested: rtt 0.52, offset off by 0.24
+	if got := c.Offset(); math.Abs(got-3.0) > 1e-9 {
+		t.Fatalf("Offset = %v, want the low-RTT sample's 3.0", got)
+	}
+	if got := c.RTT(); math.Abs(got-0.01) > 1e-9 {
+		t.Fatalf("RTT = %v, want 0.01", got)
+	}
+}
+
+// TestClockSyncTracksDrift: when the remote clock drifts, old samples age
+// out of the sliding window and the estimate follows the new offset even
+// though the old samples had equal RTT.
+func TestClockSyncTracksDrift(t *testing.T) {
+	var c ClockSync
+	for i := 0; i < 8; i++ {
+		exchange(&c, float64(i), 1.0, 0.01, 0.01)
+	}
+	if got := c.Offset(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("pre-drift Offset = %v, want 1.0", got)
+	}
+	// The clock jumps by +0.5s; after a full window of new samples the
+	// old offset must be gone.
+	for i := 8; i < 16; i++ {
+		exchange(&c, float64(i), 1.5, 0.01, 0.01)
+	}
+	if got := c.Offset(); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("post-drift Offset = %v, want 1.5", got)
+	}
+	if c.Samples() != 8 {
+		t.Fatalf("Samples = %d, want window size 8", c.Samples())
+	}
+}
+
+// TestClockSyncTieBreakNewest: equal-RTT samples resolve to the newest,
+// so gradual drift moves the estimate without waiting for a full window
+// turnover.
+func TestClockSyncTieBreakNewest(t *testing.T) {
+	// Exactly representable delays/offsets so both samples' RTTs compare
+	// equal bit-for-bit.
+	var c ClockSync
+	exchange(&c, 0, 2.0, 0.25, 0.25)
+	exchange(&c, 1, 2.5, 0.25, 0.25)
+	if got := c.Offset(); got != 2.5 {
+		t.Fatalf("Offset = %v, want newest sample's 2.5", got)
+	}
+}
+
+func TestClockSyncZeroValue(t *testing.T) {
+	var c ClockSync
+	if c.Offset() != 0 || c.RTT() != 0 || c.Samples() != 0 {
+		t.Fatalf("zero value not neutral: offset=%v rtt=%v n=%d", c.Offset(), c.RTT(), c.Samples())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"wanshuffle/internal/topology"
 )
@@ -25,6 +26,7 @@ const (
 	KindFetch   Kind = "fetch"   // F: shuffle read
 	KindInput   Kind = "input"   // I: reading/moving job input
 	KindResult  Kind = "result"  // C: result collection
+	KindServe   Kind = "serve"   // S: serving a shuffle fetch to a peer
 	KindFail    Kind = "fail"    // X: failed attempt
 )
 
@@ -44,6 +46,8 @@ func (k Kind) glyph() byte {
 		return 'I'
 	case KindResult:
 		return 'C'
+	case KindServe:
+		return 'S'
 	case KindFail:
 		return 'X'
 	default:
@@ -51,15 +55,62 @@ func (k Kind) glyph() byte {
 	}
 }
 
-// Span is one timed activity on a host.
+// TraceID names one job run; every span of the run carries it.
+type TraceID string
+
+// SpanID identifies a span within a trace. Zero means "unset" — spans
+// recorded before the causal API existed, or edges that do not apply.
+type SpanID int64
+
+// Span is one timed activity on a host, optionally annotated with causal
+// context: its place in the run's span DAG (ID / Parent), a cross-host
+// link to the remote span it consumed (Link — e.g. a receive span links
+// the push-send it installed), the shuffle it produced or consumed, and
+// site/byte/record attribution. JSON tags shape the /trace NDJSON stream.
 type Span struct {
-	Kind  Kind
-	Host  topology.HostID
-	Stage int
-	Part  int
-	Label string
-	Start float64
-	End   float64
+	Trace  TraceID `json:"trace,omitempty"`
+	ID     SpanID  `json:"id,omitempty"`
+	Parent SpanID  `json:"parent,omitempty"`
+	// Link points at the remote span this one consumed: for a receive
+	// span, the push-send that produced its records. Causality requires
+	// the linked span to start no later than this one.
+	Link SpanID `json:"link,omitempty"`
+
+	Kind  Kind            `json:"kind"`
+	Host  topology.HostID `json:"host"`
+	Stage int             `json:"stage"`
+	Part  int             `json:"part"`
+	// Shuffle is the shuffle this span produced (map/receive) or consumed
+	// (fetch/serve); shuffle IDs start at 1, so zero means none.
+	Shuffle int    `json:"shuffle,omitempty"`
+	Label   string `json:"label,omitempty"`
+	// SrcSite/DstSite name the endpoints of transfer spans (DC names in
+	// the simulator, worker labels on the live cluster).
+	SrcSite string  `json:"src,omitempty"`
+	DstSite string  `json:"dst,omitempty"`
+	Bytes   float64 `json:"bytes,omitempty"`
+	Records int     `json:"records,omitempty"`
+	Start   float64 `json:"start_sec"`
+	End     float64 `json:"end_sec"`
+}
+
+// IDAllocator hands out span IDs unique across a run without
+// coordination: each participant (driver, worker, simulator) owns a
+// distinct high-bits namespace and counts within it. Participant 0 yields
+// plain 1, 2, 3, … — the simulator uses it so golden traces stay stable.
+type IDAllocator struct {
+	base SpanID
+	ctr  atomic.Int64
+}
+
+// NewIDAllocator returns an allocator for the given participant number.
+func NewIDAllocator(participant int) *IDAllocator {
+	return &IDAllocator{base: SpanID(participant) << 32}
+}
+
+// Next returns a fresh span ID. Safe for concurrent use.
+func (a *IDAllocator) Next() SpanID {
+	return a.base + SpanID(a.ctr.Add(1))
 }
 
 // Recorder accumulates spans. The zero value is ready to use; a nil
@@ -101,6 +152,19 @@ func (r *Recorder) ByKind(k Kind) []Span {
 	return out
 }
 
+// Find returns the recorded span with the given ID, if any.
+func (r *Recorder) Find(id SpanID) (Span, bool) {
+	if r == nil || id == 0 {
+		return Span{}, false
+	}
+	for _, s := range r.spans {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Span{}, false
+}
+
 // SyncRecorder is a Recorder safe for concurrent use. The simulator is
 // single-threaded and records into a plain Recorder; live backends run
 // tasks on concurrent goroutines in wall-clock time and record here. A nil
@@ -138,6 +202,16 @@ func (s *SyncRecorder) ByKind(k Kind) []Span {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.r.ByKind(k)
+}
+
+// Find returns the recorded span with the given ID, if any.
+func (s *SyncRecorder) Find(id SpanID) (Span, bool) {
+	if s == nil {
+		return Span{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Find(id)
 }
 
 // Gantt renders the spans as an ASCII chart, like (*Recorder).Gantt. Safe
@@ -219,6 +293,6 @@ func (r *Recorder) Gantt(topo *topology.Topology, width int) string {
 	for _, h := range ids {
 		fmt.Fprintf(&b, "%*s |%s|\n", nameWidth, topo.Host(h).Name, rows[h])
 	}
-	b.WriteString("legend: M=map P=push V=receive F=fetch R=reduce I=input C=collect X=failed\n")
+	b.WriteString("legend: M=map P=push V=receive F=fetch S=serve R=reduce I=input C=collect X=failed\n")
 	return b.String()
 }

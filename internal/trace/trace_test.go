@@ -144,7 +144,7 @@ func TestNilSyncRecorderRenders(t *testing.T) {
 }
 
 func TestGlyphCoverage(t *testing.T) {
-	for _, k := range []Kind{KindMap, KindReduce, KindPush, KindReceive, KindFetch, KindInput, KindResult, KindFail} {
+	for _, k := range []Kind{KindMap, KindReduce, KindPush, KindReceive, KindFetch, KindInput, KindResult, KindServe, KindFail} {
 		if k.glyph() == '?' {
 			t.Fatalf("kind %q has no glyph", k)
 		}
