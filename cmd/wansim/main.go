@@ -29,11 +29,19 @@
 //	-telemetry-addr    serve GET /metrics (Prometheus text), /report
 //	                   (point-in-time run-report JSON), /events (NDJSON
 //	                   task-lifecycle stream), /trace (NDJSON causal trace
-//	                   spans: mid-run for -live, post-run for sim) and
-//	                   /debug/pprof/ on this address (e.g. 127.0.0.1:9090).
-//	                   Empty disables.
+//	                   spans: mid-run for -live, post-run for sim), /links
+//	                   (the measured link estimate matrix), /timeline (the
+//	                   sampled metrics time-series ring) and /debug/pprof/
+//	                   on this address (e.g. 127.0.0.1:9090). Empty
+//	                   disables.
 //	-telemetry-linger  keep the endpoint up this long after the run, so
-//	                   scrapers can read the final state
+//	                   scrapers can read the final state (must not be
+//	                   negative; warns when set without -telemetry-addr)
+//	-timeline-interval metrics timeline sampling period (default 250ms,
+//	                   must be positive)
+//	-timeline-cap      metrics timeline ring capacity in samples (default
+//	                   512, must be positive); when full, oldest samples
+//	                   drop first
 //	-progress          print a live progress line (stages/tasks/bytes) to
 //	                   stderr while the run executes
 //	-log-level         structured log level: debug | info | warn | error |
@@ -68,6 +76,16 @@
 //	                   each worker uses its own subdirectory, removed on
 //	                   shutdown
 //
+// WAN shaping (-live network plane):
+//
+//	-topology          pace the loopback data plane at a WAN preset's
+//	                   configured inter-DC rates: ec2 (the paper's
+//	                   six-region cluster) | micro (two DCs, ¼-rate
+//	                   inter-DC path). Workers map round-robin onto the
+//	                   preset's hosts; the run report's network section
+//	                   then carries measured-vs-configured drift per link.
+//	                   Empty (default) leaves loopback unshaped.
+//
 // -gantt, -chrome, -matrix, and -report all work in both modes: a
 // simulated run renders virtual time and per-region traffic, while a -live
 // run renders wall-clock spans measured on the workers and per-worker TCP
@@ -91,8 +109,10 @@ import (
 	"wanshuffle/internal/core"
 	"wanshuffle/internal/exec"
 	"wanshuffle/internal/livecluster"
+	"wanshuffle/internal/netobs"
 	"wanshuffle/internal/obs"
 	"wanshuffle/internal/telemetry"
+	"wanshuffle/internal/topology"
 	"wanshuffle/internal/trace"
 	"wanshuffle/internal/workloads"
 )
@@ -129,6 +149,9 @@ func run(args []string, stdout io.Writer) error {
 	ioTimeout := fs.Duration("io-timeout", 0, "-live per-exchange I/O deadline (0 = 30s default, negative disables)")
 	memoryBudget := fs.String("memory-budget", "", "-live per-worker resident budget for stored shuffle blocks, e.g. 64KB or 16MiB (empty = unlimited)")
 	spillDir := fs.String("spill-dir", "", "-live directory for spilled shuffle blocks (empty = OS temp dir)")
+	topoName := fs.String("topology", "", "-live WAN preset shaping the loopback data plane: ec2 | micro (empty = unshaped)")
+	timelineInterval := fs.Duration("timeline-interval", netobs.DefaultInterval, "metrics timeline sampling period (must be positive)")
+	timelineCap := fs.Int("timeline-cap", netobs.DefaultCap, "metrics timeline ring capacity in samples (must be positive)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -144,6 +167,25 @@ func run(args []string, stdout io.Writer) error {
 	budgetBytes, err := parseMemoryBudget(*memoryBudget)
 	if err != nil {
 		return err
+	}
+	liveTopo, err := topologyByName(*topoName)
+	if err != nil {
+		return err
+	}
+	// Telemetry plane validation: a negative linger is a typo (zero already
+	// means "don't linger"), and the timeline sampler cannot tick at a
+	// non-positive period or retain a non-positive ring.
+	if *linger < 0 {
+		return fmt.Errorf("-telemetry-linger must not be negative, got %v", *linger)
+	}
+	if *linger > 0 && *telemetryAddr == "" {
+		fmt.Fprintf(os.Stderr, "wansim: warning: -telemetry-linger %v has no effect without -telemetry-addr\n", *linger)
+	}
+	if *timelineInterval <= 0 {
+		return fmt.Errorf("-timeline-interval must be positive, got %v", *timelineInterval)
+	}
+	if *timelineCap <= 0 {
+		return fmt.Errorf("-timeline-cap must be positive, got %d", *timelineCap)
 	}
 	// Heartbeat plane validation: an explicitly non-positive interval or
 	// staleness threshold is a typo, not a request (zero means "default" only
@@ -204,6 +246,7 @@ func run(args []string, stdout io.Writer) error {
 	obsOpts := obsOptions{
 		telemetryAddr: *telemetryAddr, linger: *linger,
 		progress: *progress, logger: logger,
+		timelineInterval: *timelineInterval, timelineCap: *timelineCap,
 	}
 	if *live {
 		return runLive(w.Name, inst, sch, liveOptions{
@@ -214,7 +257,8 @@ func run(args []string, stdout io.Writer) error {
 			pushFanout:  *pushFanout,
 			dialTimeout: *dialTimeout, ioTimeout: *ioTimeout,
 			memoryBudget: budgetBytes, spillDir: *spillDir,
-			obs: obsOpts,
+			topology: liveTopo,
+			obs:      obsOpts,
 		}, stdout)
 	}
 
@@ -227,6 +271,10 @@ func run(args []string, stdout io.Writer) error {
 	var finalRep atomic.Pointer[obs.Report]
 	var finalSpans atomic.Pointer[[]trace.Span]
 	events := ctx.Engine().Events
+	sampler := startSampler(obsOpts, func() []obs.MetricPoint {
+		return events.Registry().Snapshot()
+	})
+	defer sampler.Stop()
 	tel, err := startTelemetry(obsOpts, stdout, telemetry.Config{
 		Registry: func() *obs.Registry { return events.Registry() },
 		Report: func() *obs.Report {
@@ -242,7 +290,16 @@ func run(args []string, stdout io.Writer) error {
 			}
 			return nil
 		},
-		Logger: logger,
+		// Mid-run /links reads the engine's flow-fed estimator; the final
+		// report's section (same data, same merge) takes over afterwards.
+		Links: func() *obs.NetworkStats {
+			if rep := finalRep.Load(); rep != nil {
+				return rep.Network
+			}
+			return ctx.Engine().NetworkStats()
+		},
+		Timeline: sampler.Samples,
+		Logger:   logger,
 	})
 	if err != nil {
 		return err
@@ -283,6 +340,7 @@ func run(args []string, stdout io.Writer) error {
 	if cp := runRep.CriticalPath; cp != nil {
 		fmt.Fprintf(stdout, "  %s\n", cp.Summary())
 	}
+	fmt.Fprintf(stdout, "  %s\n", netobs.Summary(runRep.Network))
 	fmt.Fprintln(stdout, "  stages:")
 	for _, st := range rep.Stages {
 		fmt.Fprintf(stdout, "    %-34s %7.1f -> %7.1f (%6.1f s)\n", st.Name, st.Start, st.End, st.End-st.Start)
@@ -348,10 +406,43 @@ func buildLogger(level string) (*slog.Logger, error) {
 
 // obsOptions carries the mode-independent observability flags.
 type obsOptions struct {
-	telemetryAddr string
-	linger        time.Duration
-	progress      bool
-	logger        *slog.Logger
+	telemetryAddr    string
+	linger           time.Duration
+	progress         bool
+	logger           *slog.Logger
+	timelineInterval time.Duration
+	timelineCap      int
+}
+
+// topologyByName maps the -topology flag to a WAN preset shaping the live
+// data plane; empty means unshaped loopback.
+func topologyByName(name string) (*topology.Topology, error) {
+	switch strings.ToLower(name) {
+	case "":
+		return nil, nil
+	case "ec2":
+		return topology.SixRegionEC2(), nil
+	case "micro":
+		return topology.TwoDCMicro(0, 0), nil
+	default:
+		return nil, fmt.Errorf("unknown -topology %q (ec2 | micro)", name)
+	}
+}
+
+// startSampler begins the metrics timeline ring feeding GET /timeline.
+// Without a telemetry endpoint nothing can read it, so it returns nil
+// (safe to Stop and to query) and samples nothing.
+func startSampler(opts obsOptions, source func() []obs.MetricPoint) *netobs.Sampler {
+	if opts.telemetryAddr == "" {
+		return nil
+	}
+	s := netobs.NewSampler(netobs.SamplerConfig{
+		Interval: opts.timelineInterval,
+		Cap:      opts.timelineCap,
+		Source:   source,
+	})
+	s.Start()
+	return s
 }
 
 // startTelemetry brings the telemetry HTTP endpoint up when configured
@@ -364,7 +455,7 @@ func startTelemetry(opts obsOptions, stdout io.Writer, cfg telemetry.Config) (*t
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(stdout, "telemetry: serving at %s (GET /metrics /report /events /trace /debug/pprof/)\n", tel.URL())
+	fmt.Fprintf(stdout, "telemetry: serving at %s (GET /metrics /report /events /trace /links /timeline /debug/pprof/)\n", tel.URL())
 	return tel, nil
 }
 
@@ -418,6 +509,7 @@ type liveOptions struct {
 	ioTimeout    time.Duration
 	memoryBudget int64
 	spillDir     string
+	topology     *topology.Topology
 	obs          obsOptions
 }
 
@@ -484,7 +576,8 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOp
 		PushFanout:  opts.pushFanout,
 		DialTimeout: opts.dialTimeout, IOTimeout: opts.ioTimeout,
 		MemoryBudget: opts.memoryBudget, SpillDir: opts.spillDir,
-		Logger: opts.obs.logger,
+		WANTopology: opts.topology,
+		Logger:      opts.obs.logger,
 	})
 	if err != nil {
 		return err
@@ -497,6 +590,13 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOp
 	// sums to the bytes moved so far. Scrapes refresh the per-worker
 	// heartbeat-age gauges first.
 	var finalRep atomic.Pointer[obs.Report]
+	sampler := startSampler(opts.obs, func() []obs.MetricPoint {
+		if s := cluster.CurrentStats(); s != nil {
+			return s.Events.Registry().Snapshot()
+		}
+		return nil
+	})
+	defer sampler.Stop()
 	tel, err := startTelemetry(opts.obs, stdout, telemetry.Config{
 		Registry: func() *obs.Registry {
 			cluster.RefreshLiveness()
@@ -529,7 +629,11 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOp
 			}
 			return tracer.Spans()
 		},
-		Logger: opts.obs.logger,
+		// /links reads the cluster's cross-job estimator: heartbeat-shipped
+		// transfer samples merged with the configured WAN topology's rates.
+		Links:    cluster.NetworkStats,
+		Timeline: sampler.Samples,
+		Logger:   opts.obs.logger,
 	})
 	if err != nil {
 		return err
@@ -576,6 +680,7 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOp
 	if cp := runRep.CriticalPath; cp != nil {
 		fmt.Fprintf(stdout, "  %s\n", cp.Summary())
 	}
+	fmt.Fprintf(stdout, "  %s\n", netobs.Summary(runRep.Network))
 	if st := stats.Storage(); st.SpillEvents > 0 {
 		fmt.Fprintf(stdout, "  block store:      %d spills (%d bytes to disk, %d reloaded), %d bytes resident\n",
 			st.SpillEvents, st.SpilledBytesTotal, st.ReloadBytesTotal, st.ResidentBytes)

@@ -131,6 +131,12 @@ func TestFlagValidation(t *testing.T) {
 		{"stale-after equals heartbeat", []string{"-heartbeat", "100ms", "-stale-after", "100ms"}, "must exceed"},
 		{"stale-after below heartbeat", []string{"-heartbeat", "2s", "-stale-after", "1s"}, "must exceed"},
 		{"stale-after below default heartbeat", []string{"-stale-after", "10ms"}, "must exceed"},
+		{"negative telemetry linger", []string{"-telemetry-linger", "-5s"}, "-telemetry-linger must not be negative"},
+		{"zero timeline interval", []string{"-timeline-interval", "0s"}, "-timeline-interval must be positive"},
+		{"negative timeline interval", []string{"-timeline-interval", "-1s"}, "-timeline-interval must be positive"},
+		{"zero timeline cap", []string{"-timeline-cap", "0"}, "-timeline-cap must be positive"},
+		{"negative timeline cap", []string{"-timeline-cap", "-10"}, "-timeline-cap must be positive"},
+		{"unknown topology", []string{"-topology", "moon"}, "unknown -topology"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			args := append([]string{"-workload", "wordcount", "-scale", "0.01"}, tc.args...)
@@ -139,6 +145,27 @@ func TestFlagValidation(t *testing.T) {
 				t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
 			}
 		})
+	}
+}
+
+// TestLingerWithoutTelemetryWarns checks the footgun warning: a linger
+// without an endpoint to keep up would otherwise silently do nothing.
+func TestLingerWithoutTelemetryWarns(t *testing.T) {
+	oldStderr := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	runErr := run([]string{"-workload", "wordcount", "-scale", "0.01", "-log-level", "off", "-telemetry-linger", "1ms"}, io.Discard)
+	os.Stderr = oldStderr
+	_ = w.Close()
+	captured, _ := io.ReadAll(r)
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	if !strings.Contains(string(captured), "has no effect without -telemetry-addr") {
+		t.Fatalf("expected linger warning on stderr, got:\n%s", captured)
 	}
 }
 

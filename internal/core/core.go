@@ -24,6 +24,7 @@ import (
 
 	"wanshuffle/internal/dag"
 	"wanshuffle/internal/exec"
+	"wanshuffle/internal/netobs"
 	"wanshuffle/internal/obs"
 	"wanshuffle/internal/rdd"
 	"wanshuffle/internal/topology"
@@ -165,6 +166,7 @@ type Report struct {
 	topo   *topology.Topology
 	tracer *trace.Recorder
 	events *obs.Collector
+	links  *netobs.Estimator
 	seed   int64
 }
 
@@ -255,7 +257,7 @@ func (c *Context) RunConcurrently(targets []*rdd.RDD) ([]*Report, error) {
 	}
 	reports := make([]*Report, len(results))
 	for i, res := range results {
-		reports[i] = &Report{Scheme: c.cfg.Scheme, Result: res, topo: c.cfg.Topology, tracer: c.eng.Tracer, events: c.eng.Events, seed: c.cfg.Seed}
+		reports[i] = &Report{Scheme: c.cfg.Scheme, Result: res, topo: c.cfg.Topology, tracer: c.eng.Tracer, events: c.eng.Events, links: c.eng.Links(), seed: c.cfg.Seed}
 	}
 	return reports, nil
 }
@@ -278,7 +280,7 @@ func (c *Context) run(target *rdd.RDD, action exec.Action) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %v job failed: %w", c.cfg.Scheme, err)
 	}
-	return &Report{Scheme: c.cfg.Scheme, Result: res, topo: c.cfg.Topology, tracer: c.eng.Tracer, events: c.eng.Events, seed: c.cfg.Seed}, nil
+	return &Report{Scheme: c.cfg.Scheme, Result: res, topo: c.cfg.Topology, tracer: c.eng.Tracer, events: c.eng.Events, links: c.eng.Links(), seed: c.cfg.Seed}, nil
 }
 
 // RunReport assembles the canonical machine-readable run report
@@ -309,6 +311,7 @@ func (r *Report) RunReport(workload string) *obs.Report {
 		Retries:        r.Retries,
 		BytesTotal:     r.CrossDCBytes,
 		CriticalPath:   trace.AnalyzeCriticalPath(trace.EnforceCausality(r.Spans()), r.topo),
+		Network:        netobs.ReportSection(r.links, netobs.ConfiguredDCLinks(r.topo)),
 		Metrics:        r.events.Registry().Snapshot(),
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"log/slog"
 
 	"wanshuffle/internal/dag"
+	"wanshuffle/internal/netobs"
 	"wanshuffle/internal/obs"
 	"wanshuffle/internal/plan"
 	"wanshuffle/internal/rdd"
@@ -182,6 +183,12 @@ type Engine struct {
 	ids     *trace.IDAllocator
 	traceID trace.TraceID
 
+	// links estimates per-DC-pair throughput and RTT from completed
+	// cross-DC flows, in modeled time — the simulator's half of the
+	// report's network section, structurally identical to the live
+	// cluster's measured one.
+	links *netobs.Estimator
+
 	cache map[int][]*cachedPart // RDD ID → per-partition cached copies
 
 	// Fractional-byte remainders per traffic class, carrying the sub-byte
@@ -235,11 +242,26 @@ func New(topo *topology.Topology, seed int64, cfg Config) *Engine {
 		ids:        trace.NewIDAllocator(0),
 		traceID:    trace.TraceID(fmt.Sprintf("sim-%d", seed)),
 	}
+	e.links = netobs.NewEstimator(netobs.Config{Registry: func() *obs.Registry {
+		return e.Events.Registry()
+	}})
 	e.scheduleHostFailures()
 	// Mirror every delivered byte into the metrics registry, live as the
 	// simulation advances, so mid-run /metrics scrapes watch the same
 	// bytes_moved_total{class} counters the live cluster maintains.
 	e.Net.SetDeliveryObserver(e.mirrorDelivery)
+	// Every completed cross-DC flow is one modeled throughput sample for
+	// the link estimator — the simulator's analogue of the live cluster's
+	// per-exchange wall-clock measurements. RTT is modeled as twice the
+	// pair's one-way propagation latency.
+	e.Net.SetFlowObserver(func(src, dst topology.HostID, _ string, bytes, start, end float64) {
+		a, b := e.Topo.DCOf(src), e.Topo.DCOf(dst)
+		if a == b {
+			return
+		}
+		e.links.ObserveTransfer(e.Topo.DCs[a].Name, e.Topo.DCs[b].Name, bytes, end-start)
+		e.links.ObserveRTT(e.Topo.DCs[a].Name, e.Topo.DCs[b].Name, 2*e.Topo.DCLatency(a, b))
+	})
 	if cfg.Trace {
 		e.Tracer = &trace.Recorder{}
 	}
@@ -669,6 +691,18 @@ func (e *Engine) trace(s trace.Span) {
 // siteName resolves a host's datacenter name for span site attribution.
 func (e *Engine) siteName(h topology.HostID) string {
 	return e.Topo.DCs[e.Topo.DCOf(h)].Name
+}
+
+// Links exposes the engine's flow-fed link estimator (core builds the
+// run report's network section from it).
+func (e *Engine) Links() *netobs.Estimator { return e.links }
+
+// NetworkStats assembles the current link estimate matrix — measured
+// per-DC-pair throughput/RTT merged with the topology's configured rates.
+// Safe to call while the event loop runs; the telemetry plane's /links
+// endpoint serves exactly this mid-run.
+func (e *Engine) NetworkStats() *obs.NetworkStats {
+	return netobs.ReportSection(e.links, netobs.ConfiguredDCLinks(e.Topo))
 }
 
 // noise returns the multiplicative compute-time jitter for one task.

@@ -36,6 +36,13 @@ type flowSink interface {
 	dial()
 	// op accounts one successful request by purpose.
 	op(kind requestKind)
+	// xfer records one completed exchange's wire bytes and wall-clock
+	// duration as a link throughput sample for the cluster's estimator.
+	// Kept separate from flow: flows aggregate between beats (exact byte
+	// conservation), while transfer samples must stay individual — an
+	// EWMA fed one merged lump per heartbeat would see one giant slow
+	// "transfer" instead of the real per-exchange rates.
+	xfer(src, dst int, bytes int64, sec float64)
 }
 
 // flowKey identifies one traffic-matrix cell per class.
@@ -57,6 +64,14 @@ type flowDelta struct {
 	Raw      int64 // uncompressed-equivalent bytes
 }
 
+// xferSample is one completed exchange's throughput sample on the wire:
+// wire bytes over wall-clock seconds between two matrix sites.
+type xferSample struct {
+	Src, Dst int
+	Bytes    int64
+	Sec      float64
+}
+
 // heartbeat is one worker's telemetry delta since its previous beat. It
 // doubles as the clock-sync exchange: T0 carries the worker's local send
 // time and the ack returns the driver's receive/reply times, giving the
@@ -66,6 +81,7 @@ type flowDelta struct {
 type heartbeat struct {
 	Worker                   int
 	Flows                    []flowDelta
+	Xfers                    []xferSample
 	Pushes, Fetches, Samples int64
 	Dials                    int64
 	Spans                    []trace.Span
@@ -92,6 +108,7 @@ type hbAck struct {
 type workerTel struct {
 	mu    sync.Mutex
 	flows map[flowKey]flowAgg
+	xfers []xferSample
 	ops   map[requestKind]int64
 	dials int64
 	spans []trace.Span
@@ -109,6 +126,15 @@ func (t *workerTel) flow(src, dst int, class string, wire, raw int64) {
 	agg.wire += wire
 	agg.raw += raw
 	t.flows[k] = agg
+	t.mu.Unlock()
+}
+
+// xfer implements flowSink: individual samples, not aggregated — the
+// estimator needs per-exchange rates, and a link's sample count bounds
+// the buffer naturally (one entry per completed exchange per beat).
+func (t *workerTel) xfer(src, dst int, bytes int64, sec float64) {
+	t.mu.Lock()
+	t.xfers = append(t.xfers, xferSample{Src: src, Dst: dst, Bytes: bytes, Sec: sec})
 	t.mu.Unlock()
 }
 
@@ -138,6 +164,7 @@ func (t *workerTel) drain() heartbeat {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	hb := heartbeat{
+		Xfers:   t.xfers,
 		Pushes:  t.ops[reqPushChunk],
 		Fetches: t.ops[reqFetchStream],
 		Samples: t.ops[reqSample],
@@ -148,6 +175,7 @@ func (t *workerTel) drain() heartbeat {
 		hb.Flows = append(hb.Flows, flowDelta{Src: k.src, Dst: k.dst, Class: k.class, Bytes: agg.wire, Raw: agg.raw})
 	}
 	t.flows = map[flowKey]flowAgg{}
+	t.xfers = nil
 	t.ops = map[requestKind]int64{}
 	t.dials = 0
 	t.spans = nil
@@ -166,6 +194,7 @@ func (t *workerTel) restore(hb heartbeat) {
 		agg.raw += f.Raw
 		t.flows[k] = agg
 	}
+	t.xfers = append(append([]xferSample(nil), hb.Xfers...), t.xfers...)
 	t.ops[reqPushChunk] += hb.Pushes
 	t.ops[reqFetchStream] += hb.Fetches
 	t.ops[reqSample] += hb.Samples
@@ -266,6 +295,9 @@ func (c *Cluster) mergeHeartbeat(hb heartbeat, t1 float64) {
 	if hb.HasOffset {
 		reg.Gauge("clock_offset_sec", labels).Set(hb.Offset)
 		reg.Gauge("clock_rtt_sec", labels).Set(hb.RTT)
+		// The clock-sync exchange doubles as the link estimator's RTT feed
+		// for the worker↔driver pair — free latency telemetry, no probes.
+		c.links.ObserveRTT(c.siteLabel(hb.Worker), "driver", hb.RTT)
 	}
 	c.log.Debug("livecluster: heartbeat merged", "worker", hb.Worker, "flows", len(hb.Flows), "spans", len(hb.Spans))
 }

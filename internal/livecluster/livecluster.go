@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"wanshuffle/internal/blockstore"
+	"wanshuffle/internal/netobs"
 	"wanshuffle/internal/obs"
 	"wanshuffle/internal/plan"
 	"wanshuffle/internal/rdd"
@@ -139,6 +140,14 @@ type Config struct {
 	// subdirectory, removed on Close). Empty means the OS temp dir. Only
 	// meaningful with a positive MemoryBudget.
 	SpillDir string
+	// WANTopology, when non-nil, shapes the loopback data plane to the
+	// given WAN topology: workers map round-robin onto its worker hosts,
+	// and every exchange between workers in different DCs is paced to the
+	// pair's configured inter-DC bandwidth, so link asymmetry becomes
+	// measurable on a laptop. The topology also supplies the configured
+	// rates the run report's network section computes drift against.
+	// Nil (the default) leaves the loopback unshaped.
+	WANTopology *topology.Topology
 }
 
 func (c Config) withDefaults() Config {
@@ -208,6 +217,11 @@ type Cluster struct {
 	// allocates from participant i+2), so IDs never collide across
 	// processes without coordination.
 	ids *trace.IDAllocator
+	// links estimates per-site-pair throughput and RTT from the transfer
+	// samples the data plane already produces. It persists across jobs
+	// (link capacity outlives any one run) and mirrors its gauges into
+	// whichever job's registry is current.
+	links *netobs.Estimator
 
 	// Heartbeat plane: the driver's listener, its accepted connections,
 	// and each worker's last-beat clock (unix nanos).
@@ -271,6 +285,14 @@ type Stats struct {
 	// cluster's single-DC topology; nil for hand-built Stats).
 	topo *topology.Topology
 
+	// links receives per-exchange transfer samples (set by Run to the
+	// cluster's estimator; nil for hand-built Stats, where xfer no-ops).
+	// siteName labels matrix indexes for it; configured lists the
+	// WANTopology's promised rates the report computes drift against.
+	links      *netobs.Estimator
+	siteName   func(int) string
+	configured []netobs.ConfiguredLink
+
 	// mu guards BytesOverTCP, TrafficMatrix, BytesByClass, StageSpans,
 	// CompletionSec, and Retries against concurrent scrapes; the request
 	// counters (Push/Fetch/Sample/Dials) are atomics.
@@ -309,6 +331,18 @@ func (s *Stats) flow(src, dst int, class string, wire, raw int64) {
 	reg.Counter("bytes_raw_total", nil).Add(raw)
 }
 
+// xfer implements flowSink: one completed exchange's wire bytes over its
+// wall-clock duration, fed to the cluster's link estimator as a
+// throughput sample for the (src,dst) site pair. Self-transfers carry no
+// link information (a worker exchanging with itself never crosses a WAN
+// path) and are skipped.
+func (s *Stats) xfer(src, dst int, bytes int64, sec float64) {
+	if s.links == nil || s.siteName == nil || src < 0 || dst < 0 || src == dst {
+		return
+	}
+	s.links.ObserveTransfer(s.siteName(src), s.siteName(dst), float64(bytes), sec)
+}
+
 // dial implements flowSink.
 func (s *Stats) dial() { atomic.AddInt64(&s.Dials, 1) }
 
@@ -329,6 +363,9 @@ func (s *Stats) op(kind requestKind) {
 func (s *Stats) merge(hb heartbeat, tr *trace.SyncRecorder) {
 	for _, f := range hb.Flows {
 		s.flow(f.Src, f.Dst, f.Class, f.Bytes, f.Raw)
+	}
+	for _, x := range hb.Xfers {
+		s.xfer(x.Src, x.Dst, x.Bytes, x.Sec)
 	}
 	atomic.AddInt64(&s.PushConnections, hb.Pushes)
 	atomic.AddInt64(&s.FetchConnections, hb.Fetches)
@@ -399,6 +436,10 @@ func (s *Stats) RunReport(workload string, tr *trace.SyncRecorder) *obs.Report {
 	bytesTotal := float64(s.BytesOverTCP)
 	bytesRaw := float64(s.BytesRaw)
 	s.mu.Unlock()
+	var network *obs.NetworkStats
+	if s.links != nil {
+		network = netobs.ReportSection(s.links, s.configured)
+	}
 	var storage *obs.StorageStats
 	if s.storage != nil {
 		st := s.storage()
@@ -431,6 +472,7 @@ func (s *Stats) RunReport(workload string, tr *trace.SyncRecorder) *obs.Report {
 		BytesRaw:       bytesRaw,
 		CriticalPath:   trace.AnalyzeCriticalPath(trace.EnforceCausality(tr.Spans()), s.topo),
 		Storage:        storage,
+		Network:        network,
 		Metrics:        s.Events.Registry().Snapshot(),
 	}
 }
@@ -452,6 +494,9 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.MemoryBudget < 0 {
 		return nil, fmt.Errorf("livecluster: memory budget must be positive (or zero for unlimited), got %d", cfg.MemoryBudget)
 	}
+	if cfg.WANTopology != nil && len(cfg.WANTopology.Workers()) == 0 {
+		return nil, fmt.Errorf("livecluster: WAN topology has no worker hosts")
+	}
 	cfg.Compression = codec
 	c := &Cluster{
 		cfg:       cfg,
@@ -462,6 +507,12 @@ func New(cfg Config) (*Cluster, error) {
 		epoch:     time.Now(),
 		ids:       trace.NewIDAllocator(1),
 	}
+	c.links = netobs.NewEstimator(netobs.Config{Registry: func() *obs.Registry {
+		if run := c.curRun.Load(); run != nil {
+			return run.stats.Events.Registry()
+		}
+		return nil
+	}})
 	c.pool.dialTimeout = cfg.DialTimeout
 	c.pool.ioTimeout = cfg.IOTimeout
 	if c.hbEnabled() {
@@ -549,6 +600,56 @@ func (c *Cluster) StorageStats() blockstore.Stats {
 
 // driverSite is the traffic-matrix index of the driver's connection pool.
 func (c *Cluster) driverSite() int { return len(c.workers) }
+
+// workerHost maps a worker index onto the WAN topology's worker hosts,
+// round-robin when the cluster has more workers than the topology.
+// Callers must have checked Config.WANTopology is set.
+func (c *Cluster) workerHost(i int) topology.HostID {
+	hosts := c.cfg.WANTopology.Workers()
+	return hosts[i%len(hosts)]
+}
+
+// linkRateBps returns the configured inter-DC bandwidth between two
+// workers under Config.WANTopology, or 0 (unshaped) when no topology is
+// set, either index is not a worker, or both map into the same DC.
+func (c *Cluster) linkRateBps(src, dst int) float64 {
+	topo := c.cfg.WANTopology
+	if topo == nil || src < 0 || dst < 0 || src >= len(c.workers) || dst >= len(c.workers) {
+		return 0
+	}
+	a, b := topo.DCOf(c.workerHost(src)), topo.DCOf(c.workerHost(dst))
+	if a == b {
+		return 0
+	}
+	return topo.InterBps(a, b)
+}
+
+// configuredLinks lists the WANTopology's promised rate for every
+// cross-DC worker pair, keyed by the same site labels the estimator
+// observes, so the report's drift ratio lines up pair by pair. Nil
+// without a topology.
+func (c *Cluster) configuredLinks() []netobs.ConfiguredLink {
+	if c.cfg.WANTopology == nil {
+		return nil
+	}
+	var out []netobs.ConfiguredLink
+	for i := range c.workers {
+		for j := range c.workers {
+			if bps := c.linkRateBps(i, j); bps > 0 {
+				out = append(out, netobs.ConfiguredLink{Src: c.siteLabel(i), Dst: c.siteLabel(j), Bps: bps})
+			}
+		}
+	}
+	return out
+}
+
+// NetworkStats assembles the current link estimate matrix — measured
+// throughput/RTT per site pair merged with the configured topology's
+// rates. Safe to call mid-run; the telemetry plane's /links endpoint
+// serves exactly this.
+func (c *Cluster) NetworkStats() *obs.NetworkStats {
+	return netobs.ReportSection(c.links, c.configuredLinks())
+}
 
 // clusterNow reads the driver's telemetry clock: seconds since the
 // cluster's epoch. Heartbeat timestamps and worker clock offsets are all
@@ -652,6 +753,9 @@ func (c *Cluster) Run(target *rdd.RDD) ([]rdd.Pair, *Stats, error) {
 		Events:               obs.NewCollector(),
 		storage:              c.StorageStats,
 		topo:                 c.Topology(),
+		links:                c.links,
+		siteName:             c.siteLabel,
+		configured:           c.configuredLinks(),
 	}
 	run := newLiveRun(c, stats, job.Plan)
 	c.curRun.Store(run)

@@ -186,6 +186,14 @@ func newWorker(id int, c *Cluster) (*worker, error) {
 	if id < len(c.cfg.ClockSkew) {
 		w.skew = c.cfg.ClockSkew[id]
 	}
+	if c.cfg.WANTopology != nil {
+		// Shape this worker's outbound connections to the WAN topology's
+		// cross-DC rates (resolved at dial time, when the peer's address
+		// is registered).
+		w.pool.rateFor = func(addr string) float64 {
+			return c.linkRateBps(id, c.siteOfAddr(addr))
+		}
+	}
 	w.serveWG.Add(1)
 	go w.serve()
 	return w, nil
@@ -824,6 +832,11 @@ type poolSet struct {
 	// Zero disables either bound.
 	dialTimeout time.Duration
 	ioTimeout   time.Duration
+
+	// rateFor, when set, returns the pacing rate (bps) for connections to
+	// addr; 0 leaves a connection unshaped. Set on worker pools when the
+	// cluster shapes to a WAN topology.
+	rateFor func(addr string) float64
 }
 
 // get checks a connection to addr out of the pool, dialing a fresh one
@@ -860,6 +873,9 @@ func (ps *poolSet) dial(addr string, sink flowSink) (*pooledConn, error) {
 		sink.dial()
 	}
 	cw := &countingConn{Conn: conn}
+	if ps.rateFor != nil {
+		cw.rateBps = ps.rateFor(addr)
+	}
 	return &pooledConn{conn: cw, enc: gob.NewEncoder(cw), dec: gob.NewDecoder(cw)}, nil
 }
 
@@ -892,13 +908,14 @@ func (ps *poolSet) exchange(addr string, sink flowSink, src, dst int, class stri
 	if err != nil {
 		return err
 	}
-	savings, wire, err := ps.runExchange(pc, fn)
+	savings, wire, sec, err := ps.runExchange(pc, fn)
 	if err != nil {
 		var remote remoteError
 		if errors.As(err, &remote) {
 			// The peer answered; the wire worked. Account and pool.
 			if sink != nil {
 				sink.flow(src, dst, class, wire, wire+savings)
+				sink.xfer(src, dst, wire, sec)
 			}
 			ps.put(addr, pc)
 			return err
@@ -913,30 +930,33 @@ func (ps *poolSet) exchange(addr string, sink flowSink, src, dst int, class stri
 		if pc, err = ps.dial(addr, sink); err != nil {
 			return err
 		}
-		if savings, wire, err = ps.runExchange(pc, fn); err != nil {
+		if savings, wire, sec, err = ps.runExchange(pc, fn); err != nil {
 			pc.close()
 			return err
 		}
 	}
 	if sink != nil {
 		sink.flow(src, dst, class, wire, wire+savings)
+		sink.xfer(src, dst, wire, sec)
 	}
 	ps.put(addr, pc)
 	return nil
 }
 
 // runExchange applies the I/O deadline, runs fn, clears the deadline, and
-// measures the exchange's wire bytes.
-func (ps *poolSet) runExchange(pc *pooledConn, fn func(*pooledConn) (int64, error)) (savings, wire int64, err error) {
+// measures the exchange's wire bytes and wall-clock duration (the link
+// estimator's throughput sample).
+func (ps *poolSet) runExchange(pc *pooledConn, fn func(*pooledConn) (int64, error)) (savings, wire int64, sec float64, err error) {
 	before := pc.conn.bytes.Load()
+	t0 := time.Now()
 	if ps.ioTimeout > 0 {
-		_ = pc.conn.SetDeadline(time.Now().Add(ps.ioTimeout))
+		_ = pc.conn.SetDeadline(t0.Add(ps.ioTimeout))
 	}
 	savings, err = fn(pc)
 	if ps.ioTimeout > 0 {
 		_ = pc.conn.SetDeadline(time.Time{})
 	}
-	return savings, pc.conn.bytes.Load() - before, err
+	return savings, pc.conn.bytes.Load() - before, time.Since(t0).Seconds(), err
 }
 
 func (ps *poolSet) closeAll() {
@@ -950,21 +970,48 @@ func (ps *poolSet) closeAll() {
 	ps.idle = nil
 }
 
-// countingConn counts payload bytes in both directions.
+// countingConn counts payload bytes in both directions and, with a
+// positive rateBps, paces them: each read or write pushes a rolling
+// next-allowed instant forward by the bytes' transmission time at the
+// configured rate and sleeps until it, modeling a WAN link's bandwidth
+// on the loopback (Config.WANTopology). Pacing covers both directions
+// because the shaped payload arrives via writes on a push but via reads
+// on a fetch.
 type countingConn struct {
 	net.Conn
-	bytes atomic.Int64
+	bytes   atomic.Int64
+	rateBps float64
+	paceMu  sync.Mutex
+	next    time.Time
+}
+
+func (c *countingConn) pace(n int) {
+	if c.rateBps <= 0 || n <= 0 {
+		return
+	}
+	d := time.Duration(float64(n) * 8 / c.rateBps * float64(time.Second))
+	c.paceMu.Lock()
+	now := time.Now()
+	if c.next.Before(now) {
+		c.next = now
+	}
+	c.next = c.next.Add(d)
+	wait := c.next.Sub(now)
+	c.paceMu.Unlock()
+	time.Sleep(wait)
 }
 
 func (c *countingConn) Read(p []byte) (int, error) {
 	n, err := c.Conn.Read(p)
 	c.bytes.Add(int64(n))
+	c.pace(n)
 	return n, err
 }
 
 func (c *countingConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
 	c.bytes.Add(int64(n))
+	c.pace(n)
 	return n, err
 }
 

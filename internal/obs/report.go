@@ -83,6 +83,12 @@ type Report struct {
 	// across workers. Nil on backends without a block store (the
 	// simulator models bytes, it does not hold them).
 	Storage *StorageStats `json:"storage,omitempty"`
+	// Network is the run's link estimate matrix: measured throughput and
+	// RTT per site pair, plus — when a topology is configured — the
+	// observed-vs-configured drift ratio. Built by internal/netobs from
+	// measured exchanges (live) or modeled flow completions (sim); nil
+	// when nothing was observed or configured.
+	Network *NetworkStats `json:"network,omitempty"`
 	Metrics []MetricPoint `json:"metrics,omitempty"`
 }
 
@@ -102,6 +108,32 @@ type StorageStats struct {
 	SpilledBytesTotal float64 `json:"spilled_bytes_total"`
 	SpillEvents       int64   `json:"spill_events"`
 	ReloadBytesTotal  float64 `json:"reload_bytes_total"`
+}
+
+// NetworkStats is the run report's network section: one entry per
+// directed site pair that either moved bytes or is promised by the
+// configured topology, sorted by source then destination.
+type NetworkStats struct {
+	Links []LinkStats `json:"links"`
+}
+
+// LinkStats is one directed site pair's link estimate.
+type LinkStats struct {
+	Src string `json:"src"`
+	Dst string `json:"dst"`
+	// ThroughputBps is the EWMA of observed transfer rates; P50/P95 come
+	// from a bounded window of recent samples.
+	ThroughputBps float64 `json:"throughput_bps"`
+	P50Bps        float64 `json:"p50_bps,omitempty"`
+	P95Bps        float64 `json:"p95_bps,omitempty"`
+	RTTSec        float64 `json:"rtt_sec,omitempty"`
+	Samples       int64   `json:"samples"`
+	Bytes         float64 `json:"bytes,omitempty"`
+	// ConfiguredBps is the topology's promised rate for this pair, when
+	// one is known; Drift is then observed/configured (present for every
+	// configured link, zero-valued when the link was never observed).
+	ConfiguredBps float64  `json:"configured_bps,omitempty"`
+	Drift         *float64 `json:"drift,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON.

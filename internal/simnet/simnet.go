@@ -96,6 +96,7 @@ type Flow struct {
 	Tag      string
 
 	seq        uint64
+	created    float64 // clock time StartFlow was called
 	totalBytes float64
 	remaining  float64
 	rate       float64 // bytes/s under the current allocation
@@ -180,6 +181,7 @@ type Network struct {
 	crossDCBytes   float64
 	completedFlows int
 	observer       DeliveryObserver
+	flowObserver   FlowObserver
 
 	util []UtilPoint
 }
@@ -278,6 +280,7 @@ func (n *Network) StartFlow(src, dst topology.HostID, bytes float64, tag string,
 	f := &Flow{
 		Src: src, Dst: dst, Tag: tag,
 		seq:        n.flowSeq,
+		created:    n.clock.Now(),
 		totalBytes: bytes,
 		remaining:  bytes,
 		onComplete: onComplete,
@@ -395,6 +398,18 @@ type DeliveryObserver func(tag string, bytes float64, crossDC bool)
 // invoked from inside the simulation loop; observers must not call back
 // into the network.
 func (n *Network) SetDeliveryObserver(o DeliveryObserver) { n.observer = o }
+
+// FlowObserver receives every completed flow: endpoints, tag, size, and
+// the virtual-time window from StartFlow to last-byte delivery. The
+// executor derives modeled per-link throughput estimates from it — the
+// simulator's counterpart of the live cluster's measured transfer
+// samples.
+type FlowObserver func(src, dst topology.HostID, tag string, bytes, start, end float64)
+
+// SetFlowObserver installs the flow-completion observer (nil disables).
+// Like DeliveryObserver it runs inside the simulation loop; observers
+// must not call back into the network.
+func (n *Network) SetFlowObserver(o FlowObserver) { n.flowObserver = o }
 
 // reallocate recomputes max-min fair rates with progressive filling and
 // schedules the next flow completion. Callers must settle() first.
@@ -529,6 +544,9 @@ func (n *Network) onCompletionTick() {
 		f.done = true
 		f.remaining = 0
 		n.completedFlows++
+		if n.flowObserver != nil {
+			n.flowObserver(f.Src, f.Dst, f.Tag, f.totalBytes, f.created, n.clock.Now())
+		}
 	}
 	n.reallocate()
 	// Callbacks run after rates are consistent; they may start new flows,

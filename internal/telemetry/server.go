@@ -17,6 +17,7 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"wanshuffle/internal/netobs"
 	"wanshuffle/internal/obs"
 	"wanshuffle/internal/trace"
 )
@@ -38,12 +39,21 @@ type Config struct {
 	// heartbeat-fed recorder; the simulator publishes spans once the run
 	// completes (its recorder is single-threaded with the event loop).
 	Trace func() []trace.Span
+	// Links backs GET /links: the current link estimate matrix (measured
+	// per-site-pair throughput and RTT, merged with any configured
+	// topology's rates and drift), as JSON.
+	Links func() *obs.NetworkStats
+	// Timeline backs GET /timeline: the metrics time-series ring sampled
+	// by a netobs.Sampler, one NDJSON sample per line — the time dimension
+	// /metrics scrapes lack.
+	Timeline func() []netobs.Sample
 	// Logger receives request logs at debug level; nil discards.
 	Logger *slog.Logger
 }
 
 // Handler builds the telemetry plane's HTTP handler: /metrics, /report,
-// /events, /debug/pprof/, and a plain-text index at /.
+// /events, /trace, /links, /timeline, /debug/pprof/, and a plain-text
+// index at /.
 func Handler(cfg Config) http.Handler {
 	log := obs.LoggerOr(cfg.Logger)
 	mux := http.NewServeMux()
@@ -59,6 +69,8 @@ func Handler(cfg Config) http.Handler {
 			"GET /report       point-in-time wanshuffle/run-report/v1 snapshot (JSON)\n"+
 			"GET /events       task-lifecycle event stream (NDJSON, streams until closed)\n"+
 			"GET /trace        causal trace spans recorded so far (NDJSON)\n"+
+			"GET /links        link estimate matrix: per-site-pair throughput/RTT + drift (JSON)\n"+
+			"GET /timeline     sampled metrics time-series ring (NDJSON, one sample/line)\n"+
 			"GET /debug/pprof/ Go runtime profiles\n")
 	})
 
@@ -118,6 +130,39 @@ func Handler(cfg Config) http.Handler {
 		for _, s := range spans {
 			if err := enc.Encode(s); err != nil {
 				log.Debug("telemetry: /trace write failed", "err", err)
+				return
+			}
+		}
+	})
+
+	mux.HandleFunc("/links", func(w http.ResponseWriter, r *http.Request) {
+		var links *obs.NetworkStats
+		if cfg.Links != nil {
+			links = cfg.Links()
+		}
+		if links == nil {
+			http.Error(w, "no link estimates yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(links); err != nil {
+			log.Debug("telemetry: /links write failed", "err", err)
+		}
+	})
+
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Timeline == nil {
+			http.Error(w, "no metrics timeline yet", http.StatusServiceUnavailable)
+			return
+		}
+		samples := cfg.Timeline()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, s := range samples {
+			if err := enc.Encode(s); err != nil {
+				log.Debug("telemetry: /timeline write failed", "err", err)
 				return
 			}
 		}
