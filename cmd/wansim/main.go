@@ -11,6 +11,13 @@
 //
 //	-workload  wordcount | sort | terasort | pagerank | naivebayes
 //	-scheme    spark | centralized | agg | manual
+//	-aggregator best | random | worst | bandwidth — automatic aggregator
+//	           selection rule for agg-scheme shuffles (default best, the
+//	           paper's largest-input-share rule). bandwidth ranks candidate
+//	           sites by estimated transfer time over the measured (falling
+//	           back to configured, then uniform) link matrix; the report's
+//	           placement section records each decision. random is
+//	           sim-only (the live path carries no seeded RNG).
 //	-seed      run seed (default 1)
 //	-scale     modeled-size multiplier vs Table I (default 1.0)
 //	-gantt     print the per-worker execution timeline
@@ -111,6 +118,7 @@ import (
 	"wanshuffle/internal/livecluster"
 	"wanshuffle/internal/netobs"
 	"wanshuffle/internal/obs"
+	"wanshuffle/internal/plan"
 	"wanshuffle/internal/telemetry"
 	"wanshuffle/internal/topology"
 	"wanshuffle/internal/trace"
@@ -128,6 +136,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("wansim", flag.ContinueOnError)
 	workload := fs.String("workload", "wordcount", "workload name")
 	scheme := fs.String("scheme", "agg", "spark | centralized | agg | manual")
+	aggregator := fs.String("aggregator", "best", "automatic aggregator rule: best | random | worst | bandwidth (random is sim-only)")
 	seed := fs.Int64("seed", 1, "run seed")
 	scale := fs.Float64("scale", 1.0, "modeled-size multiplier vs Table I")
 	gantt := fs.Bool("gantt", false, "print the execution timeline")
@@ -229,6 +238,13 @@ func run(args []string, stdout io.Writer) error {
 	if !ok {
 		return fmt.Errorf("unknown scheme %q", *scheme)
 	}
+	aggPolicy, err := plan.ParseAggregatorPolicy(*aggregator)
+	if err != nil {
+		return fmt.Errorf("-aggregator: %w", err)
+	}
+	if *live && aggPolicy == plan.AggregatorRandom {
+		return fmt.Errorf("-aggregator random is not supported with -live (the live path carries no seeded RNG)")
+	}
 	logger, err := buildLogger(*logLevel)
 	if err != nil {
 		return err
@@ -238,8 +254,9 @@ func run(args []string, stdout io.Writer) error {
 		Seed:   *seed,
 		Scheme: sch,
 		Exec: exec.Config{
-			Trace:  *gantt || *chrome != "" || *report != "" || *telemetryAddr != "",
-			Logger: logger,
+			Trace:            *gantt || *chrome != "" || *report != "" || *telemetryAddr != "",
+			AggregatorPolicy: aggPolicy,
+			Logger:           logger,
 		},
 	})
 	inst := w.Make(ctx, workloads.Options{Seed: *seed, Scale: *scale})
@@ -257,8 +274,9 @@ func run(args []string, stdout io.Writer) error {
 			pushFanout:  *pushFanout,
 			dialTimeout: *dialTimeout, ioTimeout: *ioTimeout,
 			memoryBudget: budgetBytes, spillDir: *spillDir,
-			topology: liveTopo,
-			obs:      obsOpts,
+			topology:   liveTopo,
+			aggregator: aggPolicy,
+			obs:        obsOpts,
 		}, stdout)
 	}
 
@@ -341,6 +359,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "  %s\n", cp.Summary())
 	}
 	fmt.Fprintf(stdout, "  %s\n", netobs.Summary(runRep.Network))
+	printPlacement(stdout, runRep.Placement)
 	fmt.Fprintln(stdout, "  stages:")
 	for _, st := range rep.Stages {
 		fmt.Fprintf(stdout, "    %-34s %7.1f -> %7.1f (%6.1f s)\n", st.Name, st.Start, st.End, st.End-st.Start)
@@ -469,6 +488,28 @@ func lingerTelemetry(tel *telemetry.Server, opts obsOptions, stdout io.Writer) {
 	time.Sleep(opts.linger)
 }
 
+// printPlacement renders the report's placement section: one line per
+// automatic aggregator decision, naming the chosen site, its estimated
+// transfer cost, and the bandwidth source behind the estimate.
+func printPlacement(stdout io.Writer, p *obs.PlacementStats) {
+	if p == nil {
+		return
+	}
+	fmt.Fprintf(stdout, "  placement (%s policy):\n", p.Policy)
+	for _, d := range p.Decisions {
+		site := d.ChosenSite
+		if site == "" {
+			site = fmt.Sprintf("site %d", d.Chosen)
+		}
+		source := d.Source
+		if source == "" {
+			source = "local"
+		}
+		fmt.Fprintf(stdout, "    shuffle %d -> %s (est. %.3f s, %s bandwidth, %d candidates)\n",
+			d.Shuffle, site, d.CostSec, source, len(d.Candidates))
+	}
+}
+
 // sumCounter totals a counter metric over all label sets.
 func sumCounter(reg *obs.Registry, name string) int64 {
 	var total float64
@@ -510,6 +551,7 @@ type liveOptions struct {
 	memoryBudget int64
 	spillDir     string
 	topology     *topology.Topology
+	aggregator   plan.AggregatorPolicy
 	obs          obsOptions
 }
 
@@ -571,6 +613,7 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOp
 	}
 	cluster, err := livecluster.New(livecluster.Config{
 		Workers: 6, Mode: mode, Trace: tracer,
+		AggregatorPolicy:  opts.aggregator,
 		HeartbeatInterval: opts.heartbeat, StaleAfter: opts.staleAfter,
 		Compression: opts.compress, ChunkRecords: opts.chunkRecords,
 		PushFanout:  opts.pushFanout,
@@ -681,6 +724,7 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOp
 		fmt.Fprintf(stdout, "  %s\n", cp.Summary())
 	}
 	fmt.Fprintf(stdout, "  %s\n", netobs.Summary(runRep.Network))
+	printPlacement(stdout, runRep.Placement)
 	if st := stats.Storage(); st.SpillEvents > 0 {
 		fmt.Fprintf(stdout, "  block store:      %d spills (%d bytes to disk, %d reloaded), %d bytes resident\n",
 			st.SpillEvents, st.SpilledBytesTotal, st.ReloadBytesTotal, st.ResidentBytes)

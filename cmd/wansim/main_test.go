@@ -137,6 +137,8 @@ func TestFlagValidation(t *testing.T) {
 		{"zero timeline cap", []string{"-timeline-cap", "0"}, "-timeline-cap must be positive"},
 		{"negative timeline cap", []string{"-timeline-cap", "-10"}, "-timeline-cap must be positive"},
 		{"unknown topology", []string{"-topology", "moon"}, "unknown -topology"},
+		{"unknown aggregator", []string{"-aggregator", "fastest"}, "unknown aggregator policy"},
+		{"random aggregator live", []string{"-aggregator", "random", "-live"}, "not supported with -live"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			args := append([]string{"-workload", "wordcount", "-scale", "0.01"}, tc.args...)

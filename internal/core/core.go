@@ -168,6 +168,9 @@ type Report struct {
 	events *obs.Collector
 	links  *netobs.Estimator
 	seed   int64
+	// aggPolicy labels the run's aggregator policy for the report's
+	// placement section.
+	aggPolicy string
 }
 
 // Gantt renders the job timeline when tracing was enabled.
@@ -257,7 +260,7 @@ func (c *Context) RunConcurrently(targets []*rdd.RDD) ([]*Report, error) {
 	}
 	reports := make([]*Report, len(results))
 	for i, res := range results {
-		reports[i] = &Report{Scheme: c.cfg.Scheme, Result: res, topo: c.cfg.Topology, tracer: c.eng.Tracer, events: c.eng.Events, links: c.eng.Links(), seed: c.cfg.Seed}
+		reports[i] = &Report{Scheme: c.cfg.Scheme, Result: res, topo: c.cfg.Topology, tracer: c.eng.Tracer, events: c.eng.Events, links: c.eng.Links(), seed: c.cfg.Seed, aggPolicy: c.cfg.Exec.AggregatorPolicy.String()}
 	}
 	return reports, nil
 }
@@ -280,7 +283,7 @@ func (c *Context) run(target *rdd.RDD, action exec.Action) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %v job failed: %w", c.cfg.Scheme, err)
 	}
-	return &Report{Scheme: c.cfg.Scheme, Result: res, topo: c.cfg.Topology, tracer: c.eng.Tracer, events: c.eng.Events, links: c.eng.Links(), seed: c.cfg.Seed}, nil
+	return &Report{Scheme: c.cfg.Scheme, Result: res, topo: c.cfg.Topology, tracer: c.eng.Tracer, events: c.eng.Events, links: c.eng.Links(), seed: c.cfg.Seed, aggPolicy: c.cfg.Exec.AggregatorPolicy.String()}, nil
 }
 
 // RunReport assembles the canonical machine-readable run report
@@ -312,6 +315,7 @@ func (r *Report) RunReport(workload string) *obs.Report {
 		BytesTotal:     r.CrossDCBytes,
 		CriticalPath:   trace.AnalyzeCriticalPath(trace.EnforceCausality(r.Spans()), r.topo),
 		Network:        netobs.ReportSection(r.links, netobs.ConfiguredDCLinks(r.topo)),
+		Placement:      obs.PlacementSection(r.aggPolicy, r.Placements),
 		Metrics:        r.events.Registry().Snapshot(),
 	}
 }

@@ -308,6 +308,9 @@ const (
 	// AggregatorWorst picks the DC with the smallest input share (the
 	// Eq. 2 pessimum), bounding how much the selection rule matters.
 	AggregatorWorst = plan.AggregatorWorst
+	// AggregatorBandwidth picks the DC with the smallest estimated
+	// transfer time over the measured-then-configured link matrix.
+	AggregatorBandwidth = plan.AggregatorBandwidth
 )
 
 // Action selects what Run does with the final RDD.
@@ -357,6 +360,9 @@ type Result struct {
 	// Retries counts re-submissions after a failed attempt (injected
 	// failures and lost hosts; speculative copies are not retries).
 	Retries int
+	// Placements records the job's automatic aggregator decisions (one
+	// per auto-resolved shuffle) under the configured AggregatorPolicy.
+	Placements []obs.PlacementDecision
 }
 
 // RunOptions tune one job run.
@@ -388,6 +394,10 @@ type jobState struct {
 	done     bool
 	end      float64
 	err      error
+
+	// placements accumulates automatic aggregator decisions, appended
+	// from the single-threaded event loop as shuffles resolve.
+	placements []obs.PlacementDecision
 
 	// pinDC confines every task to one datacenter (Centralized baseline:
 	// "after all data is centralized within a cluster, Spark works within
@@ -588,6 +598,7 @@ func (e *Engine) report(job *jobState) *Result {
 	for _, ss := range job.stages {
 		res.Stages = append(res.Stages, ss.span)
 	}
+	res.Placements = append([]obs.PlacementDecision(nil), job.placements...)
 	return res
 }
 
@@ -696,6 +707,24 @@ func (e *Engine) siteName(h topology.HostID) string {
 // Links exposes the engine's flow-fed link estimator (core builds the
 // run report's network section from it).
 func (e *Engine) Links() *netobs.Estimator { return e.links }
+
+// LinkBps implements plan.LinkCostProvider over DC indices: the flow-fed
+// EWMA when the pair has been measured, else the topology's configured
+// inter-DC rate. ok=false leaves the pair to the planner's uniform
+// fallback.
+func (e *Engine) LinkBps(src, dst int) (float64, string, bool) {
+	n := e.Topo.NumDCs()
+	if src < 0 || dst < 0 || src >= n || dst >= n || src == dst {
+		return 0, "", false
+	}
+	if est, ok := e.links.Estimate(e.Topo.DCs[src].Name, e.Topo.DCs[dst].Name); ok && est.ThroughputBps > 0 {
+		return est.ThroughputBps, plan.BandwidthMeasured, true
+	}
+	if bps := e.Topo.InterBps(topology.DCID(src), topology.DCID(dst)); bps > 0 {
+		return bps, plan.BandwidthConfigured, true
+	}
+	return 0, "", false
+}
 
 // NetworkStats assembles the current link estimate matrix — measured
 // per-DC-pair throughput/RTT merged with the topology's configured rates.

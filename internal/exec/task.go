@@ -113,8 +113,12 @@ func (e *Engine) claimPartDone(ss *stageState, part int) bool {
 	return true
 }
 
-// resolveAggregator picks the stage's automatic aggregator datacenter: the
-// one storing the largest share of the stage's input (Sec. IV-D).
+// resolveAggregator picks the stage's automatic aggregator datacenter:
+// under the default policy the one storing the largest share of the
+// stage's input (Sec. IV-D), under AggregatorBandwidth the one with the
+// smallest estimated transfer time over the engine's link matrix. The
+// decision is recorded on the job for the run report and mirrored into
+// the metrics registry.
 func (e *Engine) resolveAggregator(ss *stageState) {
 	auto := false
 	for _, ph := range ss.st.Phases {
@@ -153,8 +157,24 @@ func (e *Engine) resolveAggregator(ss *stageState) {
 			}
 		}
 	}
-	ss.aggRank = plan.Rank[topology.DCID](byDC, e.cfg.AggregatorPolicy, e.aggRNG.Shuffle)
+	var costs []plan.CandidateCost
+	if e.cfg.AggregatorPolicy == AggregatorBandwidth {
+		ss.aggRank, costs = plan.RankBandwidth[topology.DCID](byDC, e)
+	} else {
+		ss.aggRank = plan.Rank[topology.DCID](byDC, e.cfg.AggregatorPolicy, e.aggRNG.Shuffle)
+		costs = plan.EstimateTransferCosts(byDC, e)
+	}
 	ss.aggResolved = true
+	if len(ss.aggRank) > 0 {
+		shuffleID := -1
+		if ss.st.OutSpec != nil {
+			shuffleID = ss.st.OutSpec.ID
+		}
+		dec := plan.NewPlacementDecision(shuffleID, ss.st.ID, int(ss.aggRank[0]), costs,
+			func(i int) string { return e.Topo.DCs[i].Name })
+		ss.job.placements = append(ss.job.placements, dec)
+		plan.RecordPlacement(e.Events.Registry(), e.cfg.AggregatorPolicy.String(), dec)
+	}
 }
 
 // transferTarget resolves the destination datacenter of one partition's

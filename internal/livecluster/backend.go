@@ -228,6 +228,17 @@ func (r *liveRun) OnStage(span plan.StageSpan) {
 // re-places retried task attempts away from unhealthy sites.
 func (r *liveRun) SiteHealthy(site int) bool { return r.c.workerHealthy(site) }
 
+// OnPlacement implements plan.PlacementObserver: label the decision's
+// sites with the cluster's matrix labels, then record it on the job's
+// stats (report section plus placement_* metrics).
+func (r *liveRun) OnPlacement(d obs.PlacementDecision) {
+	d.ChosenSite = r.c.siteLabel(d.Chosen)
+	for i := range d.Candidates {
+		d.Candidates[i].SiteName = r.c.siteLabel(d.Candidates[i].Site)
+	}
+	r.stats.addPlacement(d)
+}
+
 // reader builds the ShuffleReader tasks at one worker gather their shuffle
 // input through: every map output's shard is fetched over TCP from its
 // holder (aggregator or mapper), serially in map order so gathered records

@@ -77,10 +77,16 @@ type Config struct {
 	// Mode defaults to ModeFetch.
 	Mode Mode
 	// Aggregators pins the worker indexes receiving pushes in ModePush.
-	// Empty means automatic: each shuffle's aggregator is the worker
-	// holding the largest share of the stage's input, measured from actual
-	// map-output sizes (shuffle.BestAggregator).
+	// Empty means automatic: each shuffle's aggregator is chosen under
+	// AggregatorPolicy from the stage's measured per-worker input sizes.
 	Aggregators []int
+	// AggregatorPolicy selects the automatic rule when Aggregators is
+	// empty: plan.AggregatorBest (default, largest input share) or
+	// plan.AggregatorBandwidth (smallest estimated transfer time over the
+	// cluster's measured-then-configured link matrix). plan.AggregatorWorst
+	// is accepted for ablations; plan.AggregatorRandom is rejected (the
+	// live path carries no seeded RNG).
+	AggregatorPolicy plan.AggregatorPolicy
 	// TasksPerWorker bounds task concurrency per worker. Defaults to 2.
 	TasksPerWorker int
 	// MaxAttempts bounds attempts per task; <= 0 means the shared
@@ -293,9 +299,15 @@ type Stats struct {
 	siteName   func(int) string
 	configured []netobs.ConfiguredLink
 
+	// placementPolicy and placements carry the run's aggregator-policy
+	// label and the automatic placement decisions for the report's
+	// placement section.
+	placementPolicy string
+	placements      []obs.PlacementDecision
+
 	// mu guards BytesOverTCP, TrafficMatrix, BytesByClass, StageSpans,
-	// CompletionSec, and Retries against concurrent scrapes; the request
-	// counters (Push/Fetch/Sample/Dials) are atomics.
+	// CompletionSec, Retries, and placements against concurrent scrapes;
+	// the request counters (Push/Fetch/Sample/Dials) are atomics.
 	mu sync.Mutex
 }
 
@@ -376,6 +388,23 @@ func (s *Stats) merge(hb heartbeat, tr *trace.SyncRecorder) {
 	}
 }
 
+// addPlacement records one automatic aggregator decision and mirrors it
+// into the metrics registry.
+func (s *Stats) addPlacement(d obs.PlacementDecision) {
+	s.mu.Lock()
+	s.placements = append(s.placements, d)
+	policy := s.placementPolicy
+	s.mu.Unlock()
+	plan.RecordPlacement(s.Events.Registry(), policy, d)
+}
+
+// Placements returns the automatic aggregator decisions recorded so far.
+func (s *Stats) Placements() []obs.PlacementDecision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]obs.PlacementDecision(nil), s.placements...)
+}
+
 // BytesMoved returns the payload bytes moved so far, safe to call while
 // the job is still running (progress lines, telemetry scrapes).
 func (s *Stats) BytesMoved() int64 {
@@ -435,6 +464,7 @@ func (s *Stats) RunReport(workload string, tr *trace.SyncRecorder) *obs.Report {
 	retries := s.Retries
 	bytesTotal := float64(s.BytesOverTCP)
 	bytesRaw := float64(s.BytesRaw)
+	placement := obs.PlacementSection(s.placementPolicy, append([]obs.PlacementDecision(nil), s.placements...))
 	s.mu.Unlock()
 	var network *obs.NetworkStats
 	if s.links != nil {
@@ -473,6 +503,7 @@ func (s *Stats) RunReport(workload string, tr *trace.SyncRecorder) *obs.Report {
 		CriticalPath:   trace.AnalyzeCriticalPath(trace.EnforceCausality(tr.Spans()), s.topo),
 		Storage:        storage,
 		Network:        network,
+		Placement:      placement,
 		Metrics:        s.Events.Registry().Snapshot(),
 	}
 }
@@ -486,6 +517,13 @@ func New(cfg Config) (*Cluster, error) {
 		if a < 0 || a >= cfg.Workers {
 			return nil, fmt.Errorf("livecluster: aggregator %d out of range [0,%d)", a, cfg.Workers)
 		}
+	}
+	switch cfg.AggregatorPolicy {
+	case plan.AggregatorBest, plan.AggregatorWorst, plan.AggregatorBandwidth:
+	case plan.AggregatorRandom:
+		return nil, fmt.Errorf("livecluster: aggregator policy %q is not supported on the live path (no seeded RNG)", cfg.AggregatorPolicy)
+	default:
+		return nil, fmt.Errorf("livecluster: unknown aggregator policy %d", cfg.AggregatorPolicy)
 	}
 	codec, ok := validCodec(cfg.Compression)
 	if !ok {
@@ -651,6 +689,25 @@ func (c *Cluster) NetworkStats() *obs.NetworkStats {
 	return netobs.ReportSection(c.links, c.configuredLinks())
 }
 
+// LinkBps implements plan.LinkCostProvider over worker indices: the
+// persistent estimator's measured EWMA when the pair has transfer
+// samples (link capacity outlives any one job, so estimates learned on
+// earlier runs inform later placements), else the shaped topology's
+// configured rate. ok=false — same-DC pairs included — leaves the pair
+// to the planner's uniform fallback.
+func (c *Cluster) LinkBps(src, dst int) (float64, string, bool) {
+	if src < 0 || dst < 0 || src >= len(c.workers) || dst >= len(c.workers) || src == dst {
+		return 0, "", false
+	}
+	if est, ok := c.links.Estimate(c.siteLabel(src), c.siteLabel(dst)); ok && est.ThroughputBps > 0 {
+		return est.ThroughputBps, plan.BandwidthMeasured, true
+	}
+	if bps := c.linkRateBps(src, dst); bps > 0 {
+		return bps, plan.BandwidthConfigured, true
+	}
+	return 0, "", false
+}
+
 // clusterNow reads the driver's telemetry clock: seconds since the
 // cluster's epoch. Heartbeat timestamps and worker clock offsets are all
 // expressed against it.
@@ -756,6 +813,7 @@ func (c *Cluster) Run(target *rdd.RDD) ([]rdd.Pair, *Stats, error) {
 		links:                c.links,
 		siteName:             c.siteLabel,
 		configured:           c.configuredLinks(),
+		placementPolicy:      c.cfg.AggregatorPolicy.String(),
 	}
 	run := newLiveRun(c, stats, job.Plan)
 	c.curRun.Store(run)
@@ -763,6 +821,8 @@ func (c *Cluster) Run(target *rdd.RDD) ([]rdd.Pair, *Stats, error) {
 	drv := plan.NewDriver(job, run, plan.DriverConfig{
 		Aggregate:   c.cfg.Mode == ModePush,
 		Aggregators: c.cfg.Aggregators,
+		Policy:      c.cfg.AggregatorPolicy,
+		LinkCosts:   c,
 		SiteSlots:   c.cfg.TasksPerWorker,
 		Retry:       plan.Retry{Max: c.cfg.MaxAttempts},
 		Logger:      c.cfg.Logger,

@@ -198,6 +198,35 @@ func (e *Estimator) Estimates() []Estimate {
 	return out
 }
 
+// Estimate returns the current estimate for one directed site pair;
+// ok=false when the pair has never recorded a transfer sample (an
+// RTT-only entry carries no throughput and does not count). Nil
+// estimators know nothing.
+func (e *Estimator) Estimate(src, dst string) (Estimate, bool) {
+	if e == nil {
+		return Estimate{}, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	l := e.links[[2]string{src, dst}]
+	if l == nil || l.samples == 0 {
+		return Estimate{}, false
+	}
+	est := Estimate{
+		Src: src, Dst: dst,
+		ThroughputBps: l.ewmaBps,
+		RTTSec:        l.rttSec,
+		Samples:       l.samples,
+		RTTSamples:    l.rttSamples,
+		Bytes:         l.bytes,
+	}
+	if len(l.ring) > 0 {
+		est.P50Bps = percentile(l.ring, 0.50)
+		est.P95Bps = percentile(l.ring, 0.95)
+	}
+	return est, true
+}
+
 // percentile computes the nearest-rank p-quantile of samples (copied,
 // not in place).
 func percentile(samples []float64, p float64) float64 {
@@ -243,16 +272,28 @@ func ConfiguredDCLinks(topo *topology.Topology) []ConfiguredLink {
 	return out
 }
 
+// finitePositive reports whether v is a usable rate: finite and above
+// zero. Zero, negative, NaN, and ±Inf all disqualify — dividing by them
+// yields drift values encoding/json refuses to marshal.
+func finitePositive(v float64) bool {
+	return v > 0 && !math.IsInf(v, 1)
+}
+
 // ReportSection merges the estimator's observed links with the
 // configured ones into the run report's network section. Every
 // configured link appears — with a drift ratio (observed EWMA /
 // configured bps; zero when unobserved) — and so does every observed
-// link, with drift only when its pair is configured. Returns nil when
-// there is nothing to report.
+// link, with drift only when its pair is configured. Pairs whose
+// configured rate is zero, negative, or non-finite are treated as
+// unconfigured, and a drift that would come out non-finite is omitted:
+// the section must always survive json.Marshal. Returns nil when there
+// is nothing to report.
 func ReportSection(e *Estimator, configured []ConfiguredLink) *obs.NetworkStats {
 	conf := map[[2]string]float64{}
 	for _, c := range configured {
-		conf[[2]string{c.Src, c.Dst}] = c.Bps
+		if finitePositive(c.Bps) {
+			conf[[2]string{c.Src, c.Dst}] = c.Bps
+		}
 	}
 	seen := map[[2]string]bool{}
 	var links []obs.LinkStats
@@ -268,15 +309,16 @@ func ReportSection(e *Estimator, configured []ConfiguredLink) *obs.NetworkStats 
 			Samples:       est.Samples,
 			Bytes:         est.Bytes,
 		}
-		if bps, ok := conf[key]; ok && bps > 0 {
+		if bps, ok := conf[key]; ok {
 			ls.ConfiguredBps = bps
-			d := est.ThroughputBps / bps
-			ls.Drift = &d
+			if d := est.ThroughputBps / bps; !math.IsNaN(d) && !math.IsInf(d, 0) {
+				ls.Drift = &d
+			}
 		}
 		links = append(links, ls)
 	}
 	for key, bps := range conf {
-		if seen[key] || bps <= 0 {
+		if seen[key] {
 			continue
 		}
 		d := 0.0

@@ -1,6 +1,7 @@
 package netobs
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"sync"
@@ -231,5 +232,75 @@ func TestEstimatorConcurrent(t *testing.T) {
 	}
 	if total != 8*200 {
 		t.Fatalf("total samples = %d, want %d", total, 8*200)
+	}
+}
+
+func TestEstimateLookup(t *testing.T) {
+	var nilE *Estimator
+	if _, ok := nilE.Estimate("a", "b"); ok {
+		t.Fatal("nil estimator returned an estimate")
+	}
+	e := NewEstimator(Config{})
+	if _, ok := e.Estimate("a", "b"); ok {
+		t.Fatal("unobserved pair returned an estimate")
+	}
+	// RTT-only pairs carry no throughput samples and must not count as
+	// measured bandwidth.
+	e.ObserveRTT("a", "b", 0.05)
+	if _, ok := e.Estimate("a", "b"); ok {
+		t.Fatal("RTT-only pair returned a bandwidth estimate")
+	}
+	e.ObserveTransfer("a", "b", 1000, 1)
+	est, ok := e.Estimate("a", "b")
+	if !ok || est.ThroughputBps != 8000 || est.Samples != 1 {
+		t.Fatalf("Estimate(a,b) = (%+v, %v), want 8000 bps / 1 sample", est, ok)
+	}
+	if _, ok := e.Estimate("b", "a"); ok {
+		t.Fatal("reverse direction returned an estimate")
+	}
+}
+
+// TestReportSectionDegenerateConfiguredRates is the satellite-2
+// regression: configured links with zero, negative, or non-finite rates
+// used to reach the drift division, producing ±Inf/NaN drift values that
+// json.Marshal rejects. They must be treated as unconfigured, and the
+// whole section must round-trip through encoding/json.
+func TestReportSectionDegenerateConfiguredRates(t *testing.T) {
+	e := NewEstimator(Config{})
+	e.ObserveTransfer("va", "ca", 1e6, 1) // 8 Mbps observed
+	e.ObserveTransfer("ca", "or", 1e6, 1) // observed, degenerate config
+	e.ObserveTransfer("or", "va", 1e6, 1) // observed, unconfigured
+	configured := []ConfiguredLink{
+		{Src: "va", Dst: "ca", Bps: 16e6},        // sane: drift 0.5
+		{Src: "ca", Dst: "or", Bps: 0},           // zero-rate (unset)
+		{Src: "or", Dst: "ca", Bps: -1},          // negative
+		{Src: "va", Dst: "or", Bps: math.NaN()},  // NaN
+		{Src: "ca", Dst: "va", Bps: math.Inf(1)}, // +Inf
+	}
+	n := ReportSection(e, configured)
+	if n == nil {
+		t.Fatal("section is nil")
+	}
+	for _, l := range n.Links {
+		if math.IsNaN(l.ConfiguredBps) || math.IsInf(l.ConfiguredBps, 0) || l.ConfiguredBps < 0 {
+			t.Fatalf("%s->%s carries degenerate configured rate %v", l.Src, l.Dst, l.ConfiguredBps)
+		}
+		if l.Drift != nil && (math.IsNaN(*l.Drift) || math.IsInf(*l.Drift, 0)) {
+			t.Fatalf("%s->%s carries non-finite drift %v", l.Src, l.Dst, *l.Drift)
+		}
+	}
+	byPair := map[[2]string]obs.LinkStats{}
+	for _, l := range n.Links {
+		byPair[[2]string{l.Src, l.Dst}] = l
+	}
+	if got := byPair[[2]string{"ca", "or"}]; got.Drift != nil || got.ConfiguredBps != 0 {
+		t.Fatalf("zero-rate configured link kept drift/config: %+v", got)
+	}
+	if got := byPair[[2]string{"va", "ca"}]; got.Drift == nil || math.Abs(*got.Drift-0.5) > 1e-12 {
+		t.Fatalf("sane configured link lost its drift: %+v", got)
+	}
+	// The regression's actual symptom: json.Marshal fails on ±Inf/NaN.
+	if _, err := json.Marshal(n); err != nil {
+		t.Fatalf("run report section does not marshal: %v", err)
 	}
 }

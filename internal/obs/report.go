@@ -89,7 +89,12 @@ type Report struct {
 	// measured exchanges (live) or modeled flow completions (sim); nil
 	// when nothing was observed or configured.
 	Network *NetworkStats `json:"network,omitempty"`
-	Metrics []MetricPoint `json:"metrics,omitempty"`
+	// Placement records the automatic aggregator decisions: which site
+	// each shuffle aggregated to, every candidate's estimated cost, and
+	// which bandwidth source (measured / configured / uniform) the
+	// estimates came from. Nil when no automatic placement ran.
+	Placement *PlacementStats `json:"placement,omitempty"`
+	Metrics   []MetricPoint   `json:"metrics,omitempty"`
 }
 
 // StorageStats is the run report's block-store section. Bytes are
@@ -134,6 +139,49 @@ type LinkStats struct {
 	// configured link, zero-valued when the link was never observed).
 	ConfiguredBps float64  `json:"configured_bps,omitempty"`
 	Drift         *float64 `json:"drift,omitempty"`
+}
+
+// PlacementStats is the run report's placement section: the aggregator
+// policy in force and one decision record per automatic shuffle.
+type PlacementStats struct {
+	Policy    string              `json:"policy"`
+	Decisions []PlacementDecision `json:"decisions"`
+}
+
+// PlacementDecision records one automatic aggregator choice.
+type PlacementDecision struct {
+	// Shuffle and Stage identify the decision point (-1 when unknown).
+	Shuffle int `json:"shuffle"`
+	Stage   int `json:"stage"`
+	// Chosen is the selected site's index; ChosenSite its label (DC name
+	// in sim, worker label in live).
+	Chosen     int    `json:"chosen"`
+	ChosenSite string `json:"chosen_site,omitempty"`
+	// CostSec is the chosen candidate's estimated transfer time; Source
+	// the weakest bandwidth source behind it (measured / configured /
+	// uniform, empty when no cross-site transfer was needed).
+	CostSec    float64              `json:"cost_sec"`
+	Source     string               `json:"source,omitempty"`
+	Candidates []PlacementCandidate `json:"candidates"`
+}
+
+// PlacementCandidate is one candidate site's estimated cost within a
+// placement decision.
+type PlacementCandidate struct {
+	Site       int     `json:"site"`
+	SiteName   string  `json:"site_name,omitempty"`
+	InputBytes float64 `json:"input_bytes"`
+	CostSec    float64 `json:"cost_sec"`
+	Source     string  `json:"source,omitempty"`
+}
+
+// PlacementSection assembles the placement section, nil when no decision
+// was recorded.
+func PlacementSection(policy string, decisions []PlacementDecision) *PlacementStats {
+	if len(decisions) == 0 {
+		return nil
+	}
+	return &PlacementStats{Policy: policy, Decisions: decisions}
 }
 
 // WriteJSON writes the report as indented JSON.

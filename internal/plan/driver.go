@@ -9,7 +9,6 @@ import (
 	"wanshuffle/internal/dag"
 	"wanshuffle/internal/obs"
 	"wanshuffle/internal/rdd"
-	"wanshuffle/internal/shuffle"
 	"wanshuffle/internal/topology"
 )
 
@@ -71,6 +70,14 @@ type SiteHealth interface {
 	SiteHealthy(site int) bool
 }
 
+// PlacementObserver is an optional Backend extension: backends that
+// surface placement decisions (run report, metrics) receive each
+// automatic aggregator choice as it is made. Site labels are not filled
+// in — the backend knows its own site names.
+type PlacementObserver interface {
+	OnPlacement(d obs.PlacementDecision)
+}
+
 // DriverConfig tunes one driven job.
 type DriverConfig struct {
 	// Aggregate enables Push/Aggregate: each map stage's output is pushed
@@ -78,11 +85,20 @@ type DriverConfig struct {
 	// for fetch-based reads.
 	Aggregate bool
 	// Aggregators pins the aggregator sites explicitly (the analogue of
-	// TransferTo(dc)). Empty means automatic per-shuffle selection via
-	// shuffle.BestAggregator over Backend.InputSizes — measured map-output
-	// sizes for every shuffle past the first (the analogue of
-	// TransferToAuto).
+	// TransferTo(dc)). Empty means automatic per-shuffle selection under
+	// Policy over Backend.InputSizes — measured map-output sizes for
+	// every shuffle past the first (the analogue of TransferToAuto).
 	Aggregators []int
+	// Policy selects the automatic-aggregation rule when Aggregators is
+	// empty. Zero value is AggregatorBest (Eq. 2).
+	Policy AggregatorPolicy
+	// LinkCosts supplies site-pair bandwidth estimates for
+	// AggregatorBandwidth; other policies use it only to annotate the
+	// decision record. Nil means uniform bandwidth.
+	LinkCosts LinkCostProvider
+	// ShuffleFn permutes the rank for AggregatorRandom (seeded by the
+	// backend); required only for that policy.
+	ShuffleFn func(n int, swap func(i, j int))
 	// Locality places leaf map tasks at the site of their input
 	// partition's host (via SiteOfHost). Leave it off for backends whose
 	// input ships from the driver rather than residing on workers — tasks
@@ -115,6 +131,9 @@ type Driver struct {
 	// aggSites records, per shuffle ID, the sites its map output was
 	// aggregated into (nil entry = scattered, fetch-based).
 	aggSites map[int][]int
+	// placements accumulates the automatic aggregator decisions, in
+	// stage order, for the run report.
+	placements []obs.PlacementDecision
 }
 
 // NewDriver prepares a driver; Run may be called once.
@@ -131,6 +150,14 @@ func (d *Driver) AggregatedTo(shuffleID int) []int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.aggSites[shuffleID]
+}
+
+// Placements returns the automatic aggregator decisions made so far, in
+// stage order.
+func (d *Driver) Placements() []obs.PlacementDecision {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]obs.PlacementDecision(nil), d.placements...)
 }
 
 // Run executes every stage and returns the result stage's partitions.
@@ -233,17 +260,42 @@ func (d *Driver) taskEvent(phase obs.TaskPhase, st *dag.Stage, part, site, attem
 }
 
 // resolveAggregators picks the stage's aggregator sites: the explicit
-// override when configured, otherwise the site holding the largest share
-// of the stage's input — Eq. (2) via shuffle.BestAggregator, fed by actual
-// map-output sizes for every shuffle input (Sec. III-B / IV-D).
+// override when configured, otherwise the head of the policy's rank over
+// Backend.InputSizes — Eq. (2)'s byte rule for AggregatorBest, estimated
+// transfer time over the LinkCosts matrix for AggregatorBandwidth — fed
+// by actual map-output sizes for every shuffle input (Sec. III-B / IV-D).
+// Automatic choices are recorded for the run report and handed to the
+// backend when it implements PlacementObserver.
 func (d *Driver) resolveAggregators(st *dag.Stage) []int {
 	if st.OutSpec == nil || !d.cfg.Aggregate {
 		return nil
 	}
 	agg := d.cfg.Aggregators
 	if len(agg) == 0 {
-		best, _ := shuffle.BestAggregator(d.be.InputSizes(st))
-		agg = []int{best}
+		sizes := d.be.InputSizes(st)
+		var rank []int
+		var costs []CandidateCost
+		if d.cfg.Policy == AggregatorBandwidth {
+			rank, costs = RankBandwidth[int](sizes, d.cfg.LinkCosts)
+		} else {
+			rank = Rank[int](sizes, d.cfg.Policy, d.cfg.ShuffleFn)
+			costs = EstimateTransferCosts(sizes, d.cfg.LinkCosts)
+		}
+		if len(rank) == 0 {
+			return nil
+		}
+		agg = []int{rank[0]}
+		dec := NewPlacementDecision(st.OutSpec.ID, st.ID, rank[0], costs, nil)
+		d.mu.Lock()
+		d.placements = append(d.placements, dec)
+		d.mu.Unlock()
+		if po, ok := d.be.(PlacementObserver); ok {
+			po.OnPlacement(dec)
+		}
+		d.log.Info("plan: aggregator chosen",
+			"stage", st.Name(), "shuffle", st.OutSpec.ID,
+			"policy", d.cfg.Policy.String(), "site", rank[0],
+			"cost_sec", dec.CostSec, "source", dec.Source)
 	}
 	d.mu.Lock()
 	d.aggSites[st.OutSpec.ID] = agg
