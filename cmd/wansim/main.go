@@ -93,6 +93,27 @@
 //	                   then carries measured-vs-configured drift per link.
 //	                   Empty (default) leaves loopback unshaped.
 //
+// Job service (-serve):
+//
+//	-serve             run as a multi-tenant job service instead of one
+//	                   workload: named workloads are submitted as JSON over
+//	                   POST /jobs on the telemetry endpoint (required) and
+//	                   dispatched one at a time, weighted-fair across
+//	                   tenants; SIGINT/SIGTERM drains and exits
+//	-tenants           tenant weights, e.g. heavy=3,light=1; unlisted
+//	                   tenants weigh 1
+//	-max-queue         admission bound on queued jobs (default 16);
+//	                   over-bound submissions get HTTP 429
+//	-max-queued-bytes  admission bound on the summed est_bytes of queued
+//	                   and running jobs (empty = unbounded)
+//	-job-deadline      default per-job deadline; a submission's
+//	                   deadline_ms field overrides it
+//
+// SIGINT/SIGTERM is honored in every mode: a single run cancels the
+// in-flight job cooperatively (tasks stop launching, the cluster unwinds,
+// spill directories are removed) and serve mode additionally drains its
+// queue before exiting.
+//
 // -gantt, -chrome, -matrix, and -report all work in both modes: a
 // simulated run renders virtual time and per-region traffic, while a -live
 // run renders wall-clock spans measured on the workers and per-worker TCP
@@ -102,15 +123,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"wanshuffle/internal/core"
@@ -161,6 +185,11 @@ func run(args []string, stdout io.Writer) error {
 	topoName := fs.String("topology", "", "-live WAN preset shaping the loopback data plane: ec2 | micro (empty = unshaped)")
 	timelineInterval := fs.Duration("timeline-interval", netobs.DefaultInterval, "metrics timeline sampling period (must be positive)")
 	timelineCap := fs.Int("timeline-cap", netobs.DefaultCap, "metrics timeline ring capacity in samples (must be positive)")
+	serve := fs.Bool("serve", false, "run as a multi-tenant job service accepting HTTP submissions on -telemetry-addr instead of one workload")
+	tenants := fs.String("tenants", "", "-serve tenant weights, e.g. heavy=3,light=1 (unlisted tenants weigh 1)")
+	maxQueue := fs.Int("max-queue", 16, "-serve admission bound on queued jobs (must be positive)")
+	maxQueuedBytes := fs.String("max-queued-bytes", "", "-serve admission bound on summed est_bytes of queued+running jobs, e.g. 256MB (empty = unbounded)")
+	jobDeadline := fs.Duration("job-deadline", 0, "-serve default per-job deadline (0 = none; a request's deadline_ms overrides)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -180,6 +209,30 @@ func run(args []string, stdout io.Writer) error {
 	liveTopo, err := topologyByName(*topoName)
 	if err != nil {
 		return err
+	}
+	// Job-service plane validation: the service only takes submissions over
+	// HTTP, so -serve without an endpoint could never receive a job; a
+	// non-positive queue bound would reject everything; tenant weights and
+	// the queued-bytes bound must parse.
+	tenantWeights, err := parseTenantWeights(*tenants)
+	if err != nil {
+		return err
+	}
+	if *maxQueue <= 0 {
+		return fmt.Errorf("-max-queue must be positive, got %d", *maxQueue)
+	}
+	queuedBytes, err := parseByteSize("-max-queued-bytes", *maxQueuedBytes)
+	if err != nil {
+		return err
+	}
+	if *jobDeadline < 0 {
+		return fmt.Errorf("-job-deadline must not be negative, got %v", *jobDeadline)
+	}
+	if *serve && *telemetryAddr == "" {
+		return fmt.Errorf("-serve requires -telemetry-addr: submissions arrive over HTTP")
+	}
+	if !*serve && *tenants != "" {
+		fmt.Fprintf(os.Stderr, "wansim: warning: -tenants %q has no effect without -serve\n", *tenants)
 	}
 	// Telemetry plane validation: a negative linger is a typo (zero already
 	// means "don't linger"), and the timeline sampler cannot tick at a
@@ -250,6 +303,38 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	// Graceful shutdown: SIGINT/SIGTERM cancels the run context, which
+	// unwinds the in-flight job cooperatively (stops launching tasks,
+	// drains) instead of killing the process mid-transfer — spill dirs are
+	// removed and telemetry flushes its final state.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	obsOptsEarly := obsOptions{
+		telemetryAddr: *telemetryAddr, linger: *linger,
+		progress: *progress, logger: logger,
+		timelineInterval: *timelineInterval, timelineCap: *timelineCap,
+	}
+	if *serve {
+		return runServe(sigCtx, serveConfig{
+			live: *live, scheme: sch, aggregator: aggPolicy,
+			seed: *seed, scale: *scale,
+			weights: tenantWeights, maxQueue: *maxQueue,
+			queuedBytes: queuedBytes, jobDeadline: *jobDeadline,
+			liveOpts: liveOptions{
+				heartbeat: *heartbeat, staleAfter: *staleAfter,
+				compress: *compress, chunkRecords: *chunkRecords,
+				pushFanout:  *pushFanout,
+				dialTimeout: *dialTimeout, ioTimeout: *ioTimeout,
+				memoryBudget: budgetBytes, spillDir: *spillDir,
+				topology:   liveTopo,
+				aggregator: aggPolicy,
+				obs:        obsOptsEarly,
+			},
+			obs: obsOptsEarly,
+		}, stdout)
+	}
+
 	ctx := core.NewContext(core.Config{
 		Seed:   *seed,
 		Scheme: sch,
@@ -260,13 +345,9 @@ func run(args []string, stdout io.Writer) error {
 		},
 	})
 	inst := w.Make(ctx, workloads.Options{Seed: *seed, Scale: *scale})
-	obsOpts := obsOptions{
-		telemetryAddr: *telemetryAddr, linger: *linger,
-		progress: *progress, logger: logger,
-		timelineInterval: *timelineInterval, timelineCap: *timelineCap,
-	}
+	obsOpts := obsOptsEarly
 	if *live {
-		return runLive(w.Name, inst, sch, liveOptions{
+		return runLive(sigCtx, w.Name, inst, sch, liveOptions{
 			gantt: *gantt, chrome: *chrome, matrix: *matrix,
 			report: *report, validate: *validate,
 			heartbeat: *heartbeat, staleAfter: *staleAfter,
@@ -331,7 +412,7 @@ func run(args []string, stdout io.Writer) error {
 			func() *obs.Collector { return events },
 			func() int64 { return sumCounter(events.Registry(), "bytes_moved_total") })
 	}
-	rep, err := ctx.Save(inst.Target)
+	rep, err := ctx.SaveContext(sigCtx, inst.Target)
 	if prog != nil {
 		prog.Stop()
 	}
@@ -559,6 +640,12 @@ type liveOptions struct {
 // with an optional binary (KiB/MiB/GiB) or decimal (KB/MB/GB, or bare
 // K/M/G) suffix; empty means no budget (everything stays resident).
 func parseMemoryBudget(s string) (int64, error) {
+	return parseByteSize("-memory-budget", s)
+}
+
+// parseByteSize parses a byte-size flag value: a positive integer with an
+// optional binary or decimal suffix; empty means unbounded (zero).
+func parseByteSize(flagName, s string) (int64, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return 0, nil
@@ -580,38 +667,36 @@ func parseMemoryBudget(s string) (int64, error) {
 	}
 	n, err := strconv.ParseInt(num, 10, 64)
 	if err != nil {
-		return 0, fmt.Errorf("-memory-budget: cannot parse %q (want e.g. 65536, 64KB, or 16MiB)", s)
+		return 0, fmt.Errorf("%s: cannot parse %q (want e.g. 65536, 64KB, or 16MiB)", flagName, s)
 	}
 	if n <= 0 {
-		return 0, fmt.Errorf("-memory-budget must be positive, got %q", s)
+		return 0, fmt.Errorf("%s must be positive, got %q", flagName, s)
 	}
 	budget := n * mult
 	if budget/mult != n {
-		return 0, fmt.Errorf("-memory-budget %q overflows", s)
+		return 0, fmt.Errorf("%s %q overflows", flagName, s)
 	}
 	return budget, nil
 }
 
-// runLive executes the workload on a real loopback TCP cluster. Only the
-// schemes with a live shuffle mechanism map: spark is the fetch-based
-// shuffle, agg is Push/Aggregate with per-shuffle measured-size aggregator
-// selection. Timing and traffic are wall-clock and actual socket bytes,
-// not the WAN model.
-func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOptions, stdout io.Writer) error {
-	var mode livecluster.Mode
+// modeForScheme maps a shuffle scheme to its live mechanism: spark is the
+// fetch-based shuffle, agg is Push/Aggregate with per-shuffle measured-size
+// aggregator selection.
+func modeForScheme(sch core.Scheme) (livecluster.Mode, error) {
 	switch sch {
 	case core.SchemeSpark:
-		mode = livecluster.ModeFetch
+		return livecluster.ModeFetch, nil
 	case core.SchemeAggShuffle:
-		mode = livecluster.ModePush
+		return livecluster.ModePush, nil
 	default:
-		return fmt.Errorf("-live supports schemes spark and agg, not %v", sch)
+		return 0, fmt.Errorf("-live supports schemes spark and agg, not %v", sch)
 	}
-	var tracer *trace.SyncRecorder
-	if opts.gantt || opts.chrome != "" || opts.report != "" || opts.obs.telemetryAddr != "" {
-		tracer = &trace.SyncRecorder{}
-	}
-	cluster, err := livecluster.New(livecluster.Config{
+}
+
+// newLiveCluster builds the loopback TCP cluster from the data-plane
+// flags — shared by single-run mode and the job service.
+func newLiveCluster(mode livecluster.Mode, opts liveOptions, tracer *trace.SyncRecorder) (*livecluster.Cluster, error) {
+	return livecluster.New(livecluster.Config{
 		Workers: 6, Mode: mode, Trace: tracer,
 		AggregatorPolicy:  opts.aggregator,
 		HeartbeatInterval: opts.heartbeat, StaleAfter: opts.staleAfter,
@@ -622,6 +707,21 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOp
 		WANTopology: opts.topology,
 		Logger:      opts.obs.logger,
 	})
+}
+
+// runLive executes the workload on a real loopback TCP cluster. Timing and
+// traffic are wall-clock and actual socket bytes, not the WAN model. ctx
+// cancellation (SIGINT/SIGTERM) unwinds the run cooperatively.
+func runLive(ctx context.Context, name string, inst *workloads.Instance, sch core.Scheme, opts liveOptions, stdout io.Writer) error {
+	mode, err := modeForScheme(sch)
+	if err != nil {
+		return err
+	}
+	var tracer *trace.SyncRecorder
+	if opts.gantt || opts.chrome != "" || opts.report != "" || opts.obs.telemetryAddr != "" {
+		tracer = &trace.SyncRecorder{}
+	}
+	cluster, err := newLiveCluster(mode, opts, tracer)
 	if err != nil {
 		return err
 	}
@@ -700,7 +800,7 @@ func runLive(name string, inst *workloads.Instance, sch core.Scheme, opts liveOp
 				return 0
 			})
 	}
-	out, stats, err := cluster.Run(inst.Target)
+	out, stats, err := cluster.RunContext(ctx, inst.Target)
 	if prog != nil {
 		prog.Stop()
 	}

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"wanshuffle/internal/jobs"
+)
+
+func TestParseTenantWeights(t *testing.T) {
+	got, err := parseTenantWeights(" heavy=3, light=1.5 ")
+	if err != nil || got["heavy"] != 3 || got["light"] != 1.5 || len(got) != 2 {
+		t.Fatalf("parseTenantWeights = (%v, %v)", got, err)
+	}
+	if got, err := parseTenantWeights(""); err != nil || got != nil {
+		t.Fatalf("empty: (%v, %v), want (nil, nil)", got, err)
+	}
+	for _, bad := range []string{"heavy", "=2", "a=0", "a=-1", "a=x", "a=1,a=2"} {
+		if _, err := parseTenantWeights(bad); err == nil {
+			t.Errorf("parseTenantWeights(%q) accepted", bad)
+		}
+	}
+}
+
+// submitJob posts one workload submission and decodes the accepted job's
+// snapshot.
+func submitJob(t *testing.T, url string, req jobs.SubmitRequest) jobs.Info {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /jobs: %d: %s", resp.StatusCode, raw)
+	}
+	var info jobs.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// TestServeModeJobService drives the full serve-mode loop over the sim
+// backend: HTTP submissions from two tenants run to completion with
+// retained reports, a bogus workload is a 400, /metrics carries the jobs_*
+// series, and a real SIGINT drains the service and returns cleanly.
+func TestServeModeJobService(t *testing.T) {
+	out := &syncWriter{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-serve", "-telemetry-addr", "127.0.0.1:0",
+			"-tenants", "heavy=2,light=1", "-max-queue", "4",
+			"-scale", "0.02", "-log-level", "off",
+		}, out)
+	}()
+
+	var url string
+	waitTest(t, "job service URL in output", func() bool {
+		if m := urlRe.FindStringSubmatch(out.String()); m != nil {
+			url = m[1]
+			return true
+		}
+		return false
+	})
+
+	h := submitJob(t, url, jobs.SubmitRequest{Tenant: "heavy", Workload: "wordcount"})
+	l := submitJob(t, url, jobs.SubmitRequest{Tenant: "light", Workload: "wordcount"})
+
+	// An unknown workload is the caller's fault, not a service failure.
+	resp, err := http.Post(url+"/jobs", "application/json",
+		strings.NewReader(`{"tenant":"light","workload":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown workload: %d, want 400", resp.StatusCode)
+	}
+
+	for _, id := range []string{h.ID, l.ID} {
+		waitTest(t, fmt.Sprintf("job %s done", id), func() bool {
+			var info jobs.Info
+			getJSONTest(t, url+"/jobs/"+id, &info)
+			if info.State == jobs.StateFailed {
+				t.Fatalf("job %s failed: %s", id, info.Err)
+			}
+			return info.State == jobs.StateDone
+		})
+		var rep map[string]any
+		getJSONTest(t, url+"/jobs/"+id+"/report", &rep)
+		if rep["backend"] != "sim" {
+			t.Fatalf("job %s report backend = %v, want sim", id, rep["backend"])
+		}
+	}
+
+	// A repeated job outlives its deadline and lands canceled, not failed;
+	// the service then runs the next submission cleanly.
+	slow := submitJob(t, url, jobs.SubmitRequest{
+		Tenant: "light", Workload: "wordcount", Repeat: 10000, DeadlineMS: 200,
+	})
+	waitTest(t, "repeated job canceled", func() bool {
+		var info jobs.Info
+		getJSONTest(t, url+"/jobs/"+slow.ID, &info)
+		if info.State == jobs.StateFailed || info.State == jobs.StateDone {
+			t.Fatalf("repeated job finished %s (err=%q), want canceled", info.State, info.Err)
+		}
+		return info.State == jobs.StateCanceled
+	})
+	after := submitJob(t, url, jobs.SubmitRequest{Tenant: "heavy", Workload: "wordcount"})
+	waitTest(t, "post-cancel job done", func() bool {
+		var info jobs.Info
+		getJSONTest(t, url+"/jobs/"+after.ID, &info)
+		return info.State == jobs.StateDone
+	})
+
+	// A negative repeat is the caller's fault.
+	resp, err = http.Post(url+"/jobs", "application/json",
+		strings.NewReader(`{"tenant":"light","workload":"wordcount","repeat":-1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative repeat: %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	for _, series := range []string{"jobs_submitted_total", "jobs_done_total", "jobs_queue_depth"} {
+		if !strings.Contains(string(metrics), series) {
+			t.Fatalf("/metrics missing %s:\n%s", series, metrics)
+		}
+	}
+
+	// Graceful shutdown rides the real signal path: SIGINT to our own
+	// process lands in run()'s signal.NotifyContext, not the test binary.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve mode exited with error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve mode did not exit after SIGINT")
+	}
+	if s := out.String(); !strings.Contains(s, "draining the queue") || !strings.Contains(s, "job service: stopped") {
+		t.Fatalf("missing shutdown narration:\n%s", s)
+	}
+}
+
+// TestServeFlagValidation pins the job-service flag errors.
+func TestServeFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"serve without telemetry", []string{"-serve"}, "-serve requires -telemetry-addr"},
+		{"bare tenant", []string{"-tenants", "heavy"}, "is not name=weight"},
+		{"zero weight", []string{"-tenants", "a=0"}, "positive weight"},
+		{"duplicate tenant", []string{"-tenants", "a=1,a=2"}, "listed twice"},
+		{"zero max queue", []string{"-max-queue", "0"}, "-max-queue must be positive"},
+		{"negative max queue", []string{"-max-queue", "-2"}, "-max-queue must be positive"},
+		{"garbage queued bytes", []string{"-max-queued-bytes", "lots"}, "cannot parse"},
+		{"negative queued bytes", []string{"-max-queued-bytes", "-64KB"}, "-max-queued-bytes must be positive"},
+		{"negative job deadline", []string{"-job-deadline", "-1s"}, "-job-deadline must not be negative"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(append([]string{"-workload", "wordcount", "-scale", "0.01"}, tc.args...), io.Discard)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// getJSONTest fetches and decodes a JSON endpoint.
+func getJSONTest(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, raw)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -238,6 +239,14 @@ func (c *Context) Save(target *rdd.RDD) (*Report, error) {
 	return c.run(target, exec.ActionSave)
 }
 
+// SaveContext is Save under cooperative cancellation: the engine's event
+// loop aborts with an error wrapping ctx.Err() once ctx fires. A canceled
+// Context is left mid-simulation and should be discarded — the job
+// service builds a fresh Context per sim submission.
+func (c *Context) SaveContext(ctx context.Context, target *rdd.RDD) (*Report, error) {
+	return c.runContext(ctx, target, exec.ActionSave)
+}
+
 // RunConcurrently launches all targets at the same instant on the shared
 // cluster (ActionSave each) — the multi-tenant setting of the paper's
 // Sec. IV-E discussion. Jobs contend for slots and links; traffic counters
@@ -266,6 +275,10 @@ func (c *Context) RunConcurrently(targets []*rdd.RDD) ([]*Report, error) {
 }
 
 func (c *Context) run(target *rdd.RDD, action exec.Action) (*Report, error) {
+	return c.runContext(context.Background(), target, action)
+}
+
+func (c *Context) runContext(ctx context.Context, target *rdd.RDD, action exec.Action) (*Report, error) {
 	opts := exec.RunOptions{}
 	switch c.cfg.Scheme {
 	case SchemeAggShuffle:
@@ -279,10 +292,11 @@ func (c *Context) run(target *rdd.RDD, action exec.Action) (*Report, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown scheme %v", c.cfg.Scheme)
 	}
-	res, err := c.eng.Run(target, action, opts)
+	results, err := c.eng.RunManyContext(ctx, []exec.JobSpec{{Target: target, Action: action, Opts: opts}})
 	if err != nil {
 		return nil, fmt.Errorf("core: %v job failed: %w", c.cfg.Scheme, err)
 	}
+	res := results[0]
 	return &Report{Scheme: c.cfg.Scheme, Result: res, topo: c.cfg.Topology, tracer: c.eng.Tracer, events: c.eng.Events, links: c.eng.Links(), seed: c.cfg.Seed, aggPolicy: c.cfg.Exec.AggregatorPolicy.String()}, nil
 }
 

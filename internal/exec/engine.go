@@ -16,6 +16,8 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 
@@ -447,6 +449,11 @@ type JobSpec struct {
 	Opts   RunOptions
 }
 
+// ErrBusy reports a Run/RunMany call made while the engine is already
+// driving jobs. Callers that serialize jobs themselves (a job service)
+// treat it as retry-later; anything else on this path is fatal.
+var ErrBusy = errors.New("exec: engine busy")
+
 // Run executes an action on the target RDD and returns the job report.
 func (e *Engine) Run(target *rdd.RDD, action Action, opts RunOptions) (*Result, error) {
 	results, err := e.RunMany([]JobSpec{{Target: target, Action: action, Opts: opts}})
@@ -462,11 +469,27 @@ func (e *Engine) Run(target *rdd.RDD, action Action, opts RunOptions) (*Result, 
 // shared by multiple jobs"). Jobs contend for the same task slots and
 // network links; results are returned in spec order.
 func (e *Engine) RunMany(specs []JobSpec) ([]*Result, error) {
+	return e.RunManyContext(context.Background(), specs)
+}
+
+// RunManyContext is RunMany under cooperative cancellation: the event
+// loop checks ctx between simulation steps and aborts with an error
+// wrapping ctx.Err() when it fires. A canceled engine is left
+// mid-simulation (pending clock events, partial flows) and should be
+// discarded — build a fresh Engine for the next job; only the live
+// backend promises post-cancel reuse.
+func (e *Engine) RunManyContext(ctx context.Context, specs []JobSpec) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(specs) == 0 {
 		return nil, nil
 	}
 	if e.activeJobs != 0 {
-		return nil, fmt.Errorf("exec: engine already running %d job(s)", e.activeJobs)
+		return nil, fmt.Errorf("%w: already running %d job(s)", ErrBusy, e.activeJobs)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("exec: job canceled: %w", err)
 	}
 	jobs := make([]*jobState, len(specs))
 	for i, spec := range specs {
@@ -496,11 +519,24 @@ func (e *Engine) RunMany(specs []JobSpec) ([]*Result, error) {
 	steps := 0
 	for !allDone() && e.Clock.Step() {
 		steps++
+		// Poll the context every 1024 steps: cheap against the event-loop
+		// hot path, still bounds cancellation latency to a sliver of
+		// simulated work.
+		if steps&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				e.activeJobs = 0
+				return nil, fmt.Errorf("exec: job canceled at t=%.3f: %w", e.Clock.Now(), err)
+			}
+		}
 		if steps >= maxSteps {
 			e.activeJobs = 0
 			return nil, fmt.Errorf("exec: event-loop runaway at t=%.3f: %s; active flows=%d",
 				e.Clock.Now(), e.stallDiagnostic(jobs), e.Net.ActiveFlows())
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		e.activeJobs = 0
+		return nil, fmt.Errorf("exec: job canceled at t=%.3f: %w", e.Clock.Now(), err)
 	}
 	e.activeJobs = 0
 	if !allDone() {

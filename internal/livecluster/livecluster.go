@@ -29,6 +29,7 @@
 package livecluster
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"log/slog"
@@ -788,6 +789,15 @@ func (c *Cluster) Addrs() []string {
 // lineage may contain any number of shuffles; it is planned and driven
 // exactly like a simulator job.
 func (c *Cluster) Run(target *rdd.RDD) ([]rdd.Pair, *Stats, error) {
+	return c.RunContext(context.Background(), target)
+}
+
+// RunContext is Run under cooperative cancellation: when ctx fires, the
+// driver stops launching tasks, in-flight task RPCs finish, and the call
+// returns an error wrapping ctx.Err(). Workers, the shuffle planes, and
+// the netobs estimator survive a canceled job — resetJobState clears the
+// per-job residue on the next Run, so the same Cluster keeps serving.
+func (c *Cluster) RunContext(ctx context.Context, target *rdd.RDD) ([]rdd.Pair, *Stats, error) {
 	job, err := plan.BuildJob(target)
 	if err != nil {
 		return nil, nil, fmt.Errorf("livecluster: %w", err)
@@ -827,7 +837,7 @@ func (c *Cluster) Run(target *rdd.RDD) ([]rdd.Pair, *Stats, error) {
 		Retry:       plan.Retry{Max: c.cfg.MaxAttempts},
 		Logger:      c.cfg.Logger,
 	})
-	parts, err := drv.Run()
+	parts, err := drv.RunContext(ctx)
 	// Drain every worker's telemetry buffer before reading the stats, so
 	// totals are exact regardless of heartbeat timing.
 	c.flushTelemetry()

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"sync"
@@ -123,6 +124,7 @@ type Driver struct {
 	be  Backend
 	cfg DriverConfig
 	log *slog.Logger
+	ctx context.Context
 
 	sems  []chan struct{}
 	start time.Time
@@ -162,6 +164,20 @@ func (d *Driver) Placements() []obs.PlacementDecision {
 
 // Run executes every stage and returns the result stage's partitions.
 func (d *Driver) Run() ([][]rdd.Pair, error) {
+	return d.RunContext(context.Background())
+}
+
+// RunContext is Run under cooperative cancellation: once ctx is canceled
+// the driver stops launching tasks and retries, waits for in-flight task
+// attempts to return, and fails the job with an error wrapping ctx.Err()
+// (so errors.Is distinguishes cancellation and deadline expiry from task
+// failure). The backend is left quiescent — no driver goroutine outlives
+// the call — so a live cluster stays reusable for the next job.
+func (d *Driver) RunContext(ctx context.Context) ([][]rdd.Pair, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	d.ctx = ctx
 	for _, st := range d.job.Stages() {
 		if len(st.Phases) != 1 {
 			return nil, fmt.Errorf("plan: stage %s carries transferTo phases; push/aggregate is driven by the backend's aggregation mode, not the lineage", st.Name())
@@ -180,6 +196,10 @@ func (d *Driver) Run() ([][]rdd.Pair, error) {
 	d.log.Info("plan: job starting", "stages", len(d.job.Stages()), "sites", n, "aggregate", d.cfg.Aggregate)
 	var final [][]rdd.Pair
 	for _, st := range d.job.Stages() {
+		if err := d.canceled(); err != nil {
+			d.log.Warn("plan: job canceled between stages", "next_stage", st.Name())
+			return nil, err
+		}
 		out, err := d.runStage(st)
 		if err != nil {
 			d.log.Error("plan: job failed", "stage", st.Name(), "err", err)
@@ -194,6 +214,15 @@ func (d *Driver) Run() ([][]rdd.Pair, error) {
 }
 
 func (d *Driver) now() float64 { return time.Since(d.start).Seconds() }
+
+// canceled returns the job-level cancellation error (wrapping ctx.Err())
+// when the run's context is done, nil otherwise.
+func (d *Driver) canceled() error {
+	if err := d.ctx.Err(); err != nil {
+		return fmt.Errorf("plan: job canceled: %w", err)
+	}
+	return nil
+}
 
 // runStage fans the stage's tasks out over the backend's sites, honors the
 // aggregation mode, and finalizes the stage's shuffle at the barrier.
@@ -210,6 +239,13 @@ func (d *Driver) runStage(st *dag.Stage) ([][]rdd.Pair, error) {
 	var wg sync.WaitGroup
 	for part := 0; part < st.NumTasks; part++ {
 		part := part
+		// Cancellation stops the launch loop cold: unlaunched tasks are
+		// marked canceled without ever reaching the backend, and the
+		// wg.Wait below still drains the attempts already in flight.
+		if err := d.canceled(); err != nil {
+			errs[part] = err
+			continue
+		}
 		site := d.placeTask(st, part)
 		aggTo := -1
 		if len(agg) > 0 {
@@ -217,7 +253,14 @@ func (d *Driver) runStage(st *dag.Stage) ([][]rdd.Pair, error) {
 		}
 		d.taskEvent(obs.PhaseScheduled, st, part, site, 1, nil)
 		wg.Add(1)
-		d.sems[site] <- struct{}{}
+		select {
+		case d.sems[site] <- struct{}{}:
+		case <-d.ctx.Done():
+			// Canceled while waiting for a task slot: never launched.
+			errs[part] = d.canceled()
+			wg.Done()
+			continue
+		}
 		go func() {
 			defer wg.Done()
 			defer func() { <-d.sems[site] }()
@@ -355,6 +398,11 @@ func (d *Driver) attempt(st *dag.Stage, part, site int, run func(site, attempt i
 		}
 		d.taskEvent(obs.PhaseFailed, st, part, site, att, err)
 		d.log.Warn("plan: task attempt failed", "stage", st.Name(), "part", part, "site", site, "attempt", att, "err", err)
+		// A canceled job burns no retry budget: surface the cancellation
+		// instead of re-running a task whose job is being torn down.
+		if cerr := d.canceled(); cerr != nil {
+			return cerr
+		}
 		if !d.cfg.Retry.Allow(att + 1) {
 			return fmt.Errorf("plan: task %s/t%d failed after %d attempt(s): %w", st.Name(), part, att, err)
 		}

@@ -47,6 +47,10 @@ type Config struct {
 	// by a netobs.Sampler, one NDJSON sample per line — the time dimension
 	// /metrics scrapes lack.
 	Timeline func() []netobs.Sample
+	// Jobs, when non-nil, mounts the job service's HTTP surface under
+	// /jobs and /jobs/ (list, submit, per-job snapshot/report/cancel,
+	// lifecycle watch stream). Serve mode wires jobs.NewHandler here.
+	Jobs http.Handler
 	// Logger receives request logs at debug level; nil discards.
 	Logger *slog.Logger
 }
@@ -72,6 +76,13 @@ func Handler(cfg Config) http.Handler {
 			"GET /links        link estimate matrix: per-site-pair throughput/RTT + drift (JSON)\n"+
 			"GET /timeline     sampled metrics time-series ring (NDJSON, one sample/line)\n"+
 			"GET /debug/pprof/ Go runtime profiles\n")
+		if cfg.Jobs != nil {
+			fmt.Fprint(w, ""+
+				"GET /jobs         job listing (JSON); ?watch=1 streams lifecycle events (NDJSON)\n"+
+				"POST /jobs        submit a named workload to the job service\n"+
+				"GET /jobs/{id}    one job's lifecycle snapshot; /{id}/report its run report\n"+
+				"POST /jobs/{id}/cancel cancel a queued or running job\n")
+		}
 	})
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -167,6 +178,11 @@ func Handler(cfg Config) http.Handler {
 			}
 		}
 	})
+
+	if cfg.Jobs != nil {
+		mux.Handle("/jobs", cfg.Jobs)
+		mux.Handle("/jobs/", cfg.Jobs)
+	}
 
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
